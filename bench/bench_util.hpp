@@ -1,0 +1,63 @@
+// Shared plumbing for the figure/table reproduction benches: sweep
+// construction over (algorithm × size × ratio), execution on the thread
+// pool, and a common header that records the run configuration.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "harness/bench_scale.hpp"
+#include "harness/sweep.hpp"
+
+namespace glap::bench {
+
+using harness::Algorithm;
+
+inline const std::vector<Algorithm>& all_algorithms() {
+  static const std::vector<Algorithm> algos{
+      Algorithm::kGlap, Algorithm::kEcoCloud, Algorithm::kGrmp,
+      Algorithm::kPabfd};
+  return algos;
+}
+
+/// Builds one cell per (size × ratio × algorithm), ordered that way.
+inline std::vector<harness::ExperimentConfig> build_cells(
+    const harness::BenchScale& scale,
+    const std::vector<Algorithm>& algorithms) {
+  std::vector<harness::ExperimentConfig> cells;
+  for (std::size_t size : scale.sizes)
+    for (std::size_t ratio : scale.ratios)
+      for (Algorithm algo : algorithms) {
+        harness::ExperimentConfig config;
+        config.algorithm = algo;
+        config.pm_count = size;
+        config.vm_ratio = ratio;
+        apply_scale(config, scale);
+        cells.push_back(config);
+      }
+  return cells;
+}
+
+inline void print_bench_header(const char* title,
+                               const harness::BenchScale& scale) {
+  std::printf("=== %s ===\n", title);
+  std::printf("scale: sizes={");
+  for (std::size_t i = 0; i < scale.sizes.size(); ++i)
+    std::printf("%s%zu", i ? "," : "", scale.sizes[i]);
+  std::printf("} ratios={");
+  for (std::size_t i = 0; i < scale.ratios.size(); ++i)
+    std::printf("%s%zu", i ? "," : "", scale.ratios[i]);
+  std::printf("} reps=%zu rounds=%u warmup=%u", scale.repetitions,
+              scale.rounds, scale.warmup_rounds);
+  std::printf("  (set GLAP_BENCH_SCALE=full for paper-size clusters)\n\n");
+}
+
+inline std::string cell_label(const harness::ExperimentConfig& config) {
+  return std::to_string(config.pm_count) + "-" +
+         std::to_string(config.vm_ratio);
+}
+
+}  // namespace glap::bench

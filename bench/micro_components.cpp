@@ -1,0 +1,129 @@
+// Google-benchmark microbenchmarks for the hot components: Q-table
+// operations, Cyclon rounds, trace generation, demand observation, and
+// the local trainer — the per-round costs that bound simulator throughput.
+#include <benchmark/benchmark.h>
+
+#include "cloud/datacenter.hpp"
+#include "common/rng.hpp"
+#include "core/learning.hpp"
+#include "overlay/cyclon.hpp"
+#include "qlearn/qtable.hpp"
+#include "trace/google_synth.hpp"
+
+namespace {
+
+using namespace glap;
+
+void BM_QTableUpdate(benchmark::State& state) {
+  qlearn::QTable table;
+  const qlearn::QLearningParams params;
+  Rng rng(1);
+  std::vector<qlearn::State> states;
+  for (std::uint16_t i = 0; i < qlearn::kLevelPairCount; ++i)
+    states.push_back(qlearn::State::from_index(i));
+  for (auto _ : state) {
+    const auto s = states[rng.bounded(states.size())];
+    const auto a = states[rng.bounded(states.size())];
+    const auto next = states[rng.bounded(states.size())];
+    table.update(s, a, 4.0, next, params);
+  }
+}
+BENCHMARK(BM_QTableUpdate);
+
+void BM_QTableMergeAverage(benchmark::State& state) {
+  qlearn::QTable a, b;
+  Rng rng(2);
+  for (int i = 0; i < state.range(0); ++i) {
+    const auto s = qlearn::State::from_index(
+        static_cast<std::uint16_t>(rng.bounded(qlearn::kLevelPairCount)));
+    const auto act = qlearn::Action::from_index(
+        static_cast<std::uint16_t>(rng.bounded(qlearn::kLevelPairCount)));
+    (i % 2 ? a : b).set(s, act, rng.uniform());
+  }
+  for (auto _ : state) {
+    qlearn::QTable merged = a;
+    merged.merge_average(b);
+    benchmark::DoNotOptimize(merged.size());
+  }
+}
+BENCHMARK(BM_QTableMergeAverage)->Arg(256)->Arg(2048);
+
+void BM_QTableCosineSimilarity(benchmark::State& state) {
+  qlearn::QTable a, b;
+  Rng rng(3);
+  for (int i = 0; i < 2048; ++i) {
+    const auto s = qlearn::State::from_index(
+        static_cast<std::uint16_t>(rng.bounded(qlearn::kLevelPairCount)));
+    const auto act = qlearn::Action::from_index(
+        static_cast<std::uint16_t>(rng.bounded(qlearn::kLevelPairCount)));
+    a.set(s, act, rng.uniform());
+    b.set(s, act, rng.uniform());
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(qlearn::cosine_similarity(a, b));
+}
+BENCHMARK(BM_QTableCosineSimilarity);
+
+void BM_CyclonRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Engine engine(n, 4);
+  overlay::CyclonProtocol::install(engine, {}, 4);
+  for (auto _ : state) engine.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CyclonRound)->Arg(500)->Arg(2000);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const trace::GoogleSynth synth({}, 5);
+  std::vector<trace::DemandModelPtr> models;
+  for (std::uint64_t v = 0; v < 1000; ++v)
+    models.push_back(synth.make_model(v));
+  for (auto _ : state) {
+    Resources sum;
+    for (auto& m : models) sum += m->next();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_ObserveDemands(benchmark::State& state) {
+  const auto pms = static_cast<std::size_t>(state.range(0));
+  cloud::DataCenter dc(pms, pms * 3, cloud::DataCenterConfig{});
+  Rng rng(6);
+  dc.place_randomly(rng);
+  std::vector<Resources> demands(pms * 3, Resources{0.3, 0.3});
+  for (auto _ : state) {
+    dc.observe_demands(demands);
+    benchmark::DoNotOptimize(dc.current_usage(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pms * 3));
+}
+BENCHMARK(BM_ObserveDemands)->Arg(500)->Arg(2000);
+
+void BM_LocalTrainerRound(benchmark::State& state) {
+  core::GlapConfig config;
+  core::LocalTrainer trainer(config, {2660.0, 4096.0}, Rng(7));
+  Rng rng(8);
+  std::vector<core::VmProfile> pool;
+  for (int i = 0; i < 40; ++i) {
+    const Resources alloc{500.0, 613.0};
+    const double avg = rng.uniform(0.1, 0.8);
+    const double cur = rng.uniform(0.1, 0.9);
+    pool.push_back({Resources{cur, 0.3}.scaled_by(alloc),
+                    Resources{avg, 0.3}.scaled_by(alloc), alloc});
+  }
+  core::QTablePair tables;
+  for (auto _ : state) trainer.train_round(pool, tables);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(config.train_iterations_per_round));
+}
+BENCHMARK(BM_LocalTrainerRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

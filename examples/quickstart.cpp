@@ -1,0 +1,39 @@
+// Quickstart: run GLAP on a small simulated data center and print the
+// headline metrics. Demonstrates the minimal public-API path:
+// ExperimentConfig -> run_experiment -> RunResult.
+#include <cstdio>
+
+#include "harness/runner.hpp"
+
+int main() {
+  using namespace glap;
+
+  harness::ExperimentConfig config;
+  config.algorithm = harness::Algorithm::kGlap;
+  config.pm_count = 200;
+  config.vm_ratio = 3;
+  config.rounds = 240;         // 8 simulated hours
+  config.warmup_rounds = 200;  // learning + aggregation pre-phase
+  config.fit_glap_phases_to_warmup();
+  config.seed = 7;
+
+  std::printf("running %s ...\n", config.label().c_str());
+  const harness::RunResult result = harness::run_experiment(config);
+
+  std::printf("rounds sampled        : %zu\n", result.rounds.size());
+  std::printf("final active PMs      : %u / %zu\n", result.final_active_pms,
+              config.pm_count);
+  std::printf("final overloaded PMs  : %u\n", result.final_overloaded_pms);
+  std::printf("BFD reference packing : %u PMs\n", result.final_bfd_bins);
+  std::printf("mean overloaded/round : %.2f\n", result.mean_overloaded());
+  std::printf("mean active/round     : %.2f\n", result.mean_active());
+  std::printf("total migrations      : %llu\n",
+              static_cast<unsigned long long>(result.total_migrations));
+  std::printf("migration energy      : %.1f J\n", result.migration_energy_j);
+  std::printf("SLAVO=%.6f SLALM=%.6f SLAV=%.8f\n", result.slavo,
+              result.slalm, result.slav);
+  std::printf("gossip traffic        : %llu msgs, %llu bytes\n",
+              static_cast<unsigned long long>(result.messages),
+              static_cast<unsigned long long>(result.bytes));
+  return 0;
+}

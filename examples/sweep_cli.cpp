@@ -1,0 +1,94 @@
+// Sweep CLI: run an arbitrary (algorithm, size, ratio, rounds, repeats)
+// experiment from the command line and emit per-round metrics as CSV —
+// the integration point for plotting the paper's figures with external
+// tooling.
+//
+// Usage: sweep_cli <glap|grmp|ecocloud|pabfd|none> [pms] [ratio] [rounds]
+//                  [warmup] [repeats] [seed]
+// Output: CSV on stdout (rep,round,active,overloaded,migrations_cum,
+//         migration_energy_j) followed by a '#'-prefixed summary.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "common/thread_pool.hpp"
+#include "harness/sweep.hpp"
+
+using namespace glap;
+
+namespace {
+
+harness::Algorithm parse_algorithm(const char* name) {
+  if (!std::strcmp(name, "glap")) return harness::Algorithm::kGlap;
+  if (!std::strcmp(name, "grmp")) return harness::Algorithm::kGrmp;
+  if (!std::strcmp(name, "ecocloud")) return harness::Algorithm::kEcoCloud;
+  if (!std::strcmp(name, "pabfd")) return harness::Algorithm::kPabfd;
+  if (!std::strcmp(name, "none")) return harness::Algorithm::kNone;
+  std::fprintf(stderr,
+               "unknown algorithm '%s' (want glap|grmp|ecocloud|pabfd|none)\n",
+               name);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <glap|grmp|ecocloud|pabfd|none> [pms] [ratio] "
+                 "[rounds] [warmup] [repeats] [seed]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  harness::ExperimentConfig config;
+  config.algorithm = parse_algorithm(argv[1]);
+  config.pm_count = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 200;
+  config.vm_ratio = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 3;
+  config.rounds = argc > 4
+                      ? static_cast<sim::Round>(std::strtoul(argv[4], nullptr, 10))
+                      : 240;
+  config.warmup_rounds =
+      argc > 5 ? static_cast<sim::Round>(std::strtoul(argv[5], nullptr, 10))
+               : 240;
+  const std::size_t repeats =
+      argc > 6 ? std::strtoul(argv[6], nullptr, 10) : 1;
+  config.seed = argc > 7 ? std::strtoull(argv[7], nullptr, 10) : 42;
+  config.fit_glap_phases_to_warmup();
+
+  ThreadPool pool;
+  const harness::CellResult cell = harness::run_cell(config, repeats, pool);
+
+  CsvWriter csv(std::cout);
+  csv.write_row({"rep", "round", "active", "overloaded", "migrations_cum",
+                 "migration_energy_j"});
+  for (std::size_t rep = 0; rep < cell.runs.size(); ++rep)
+    for (const auto& s : cell.runs[rep].rounds)
+      csv.write_row_values({static_cast<double>(rep),
+                            static_cast<double>(s.round),
+                            static_cast<double>(s.active_pms),
+                            static_cast<double>(s.overloaded_pms),
+                            static_cast<double>(s.migrations_cum),
+                            s.migration_energy_j});
+
+  std::printf("# %s: mean_overloaded=%.3f mean_active=%.2f "
+              "migrations=%.0f slav=%.3g mig_energy_kj=%.2f\n",
+              config.label().c_str(),
+              cell.mean_of([](const harness::RunResult& r) {
+                return r.mean_overloaded();
+              }),
+              cell.mean_of([](const harness::RunResult& r) {
+                return r.mean_active();
+              }),
+              cell.mean_of([](const harness::RunResult& r) {
+                return static_cast<double>(r.total_migrations);
+              }),
+              cell.mean_of(
+                  [](const harness::RunResult& r) { return r.slav; }),
+              cell.mean_of([](const harness::RunResult& r) {
+                return r.migration_energy_j / 1000.0;
+              }));
+  return 0;
+}

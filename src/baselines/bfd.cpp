@@ -1,0 +1,43 @@
+#include "baselines/bfd.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace glap::baselines {
+
+std::size_t bfd_bin_count(std::vector<Resources> vm_usages,
+                          const Resources& pm_capacity) {
+  GLAP_REQUIRE(pm_capacity.cpu > 0.0 && pm_capacity.mem > 0.0,
+               "pm capacity must be positive");
+  std::sort(vm_usages.begin(), vm_usages.end(),
+            [](const Resources& a, const Resources& b) {
+              return a.cpu > b.cpu;
+            });
+  std::vector<Resources> bins;  // remaining capacity per bin
+  for (const Resources& vm : vm_usages) {
+    GLAP_REQUIRE(vm.fits_within(pm_capacity),
+                 "a single vm exceeds pm capacity");
+    std::size_t best = bins.size();
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if (!vm.fits_within(bins[b])) continue;
+      if (best == bins.size() || bins[b].cpu < bins[best].cpu) best = b;
+    }
+    if (best == bins.size()) bins.push_back(pm_capacity);
+    bins[best] -= vm;
+  }
+  return bins.size();
+}
+
+std::size_t bfd_bin_count(const cloud::DataCenter& dc) {
+  std::vector<Resources> usages;
+  usages.reserve(dc.vm_count());
+  for (cloud::VmId v = 0; v < dc.vm_count(); ++v)
+    if (dc.is_placed(v)) usages.push_back(dc.vm(v).current_usage());
+  // The oracle packs into the configured *reference* PM class; for
+  // heterogeneous fleets it is a capacity-normalized reference, not an
+  // exact optimum over mixed bins.
+  return bfd_bin_count(std::move(usages), dc.config().pm_spec.capacity());
+}
+
+}  // namespace glap::baselines

@@ -1,0 +1,28 @@
+// Best-Fit Decreasing packing reference.
+//
+// Fig. 6 compares every algorithm's active-PM count against "a baseline
+// packing without producing any SLA violation", computed by BFD over the
+// VMs' resource utilization of the last round. This is that oracle: given
+// the current absolute usage of every VM and the PM capacity, it returns
+// the minimum-ish number of PMs BFD needs so that no PM is oversubscribed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cloud/datacenter.hpp"
+#include "common/resources.hpp"
+
+namespace glap::baselines {
+
+/// Packs `vm_usages` (absolute MIPS/MB per VM) into bins of `pm_capacity`
+/// using Best-Fit Decreasing ordered by CPU demand; best fit = the bin
+/// with the least remaining CPU that still fits both resources. Returns
+/// the number of bins used.
+[[nodiscard]] std::size_t bfd_bin_count(std::vector<Resources> vm_usages,
+                                        const Resources& pm_capacity);
+
+/// Convenience: BFD bin count for the data center's current VM usage.
+[[nodiscard]] std::size_t bfd_bin_count(const cloud::DataCenter& dc);
+
+}  // namespace glap::baselines

@@ -1,0 +1,177 @@
+#include "baselines/ecocloud.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace glap::baselines {
+
+namespace {
+constexpr std::size_t kProbeMsgBytes = 16;
+}
+
+EcoCloudProtocol::EcoCloudProtocol(const EcoCloudConfig& config,
+                                   cloud::DataCenter& dc, Rng rng)
+    : config_(config), dc_(dc), rng_(rng) {
+  GLAP_REQUIRE(config.lower_threshold > 0.0 &&
+                   config.lower_threshold < config.upper_threshold &&
+                   config.upper_threshold <= 1.0,
+               "ecocloud thresholds must satisfy 0 < T1 < T2 <= 1");
+  GLAP_REQUIRE(config.probe_count > 0, "probe_count must be positive");
+}
+
+struct EcoCloudInstaller {
+  static void set_slot(EcoCloudProtocol& p, sim::Engine::ProtocolSlot slot) {
+    p.self_slot_ = slot;
+    p.self_slot_known_ = true;
+  }
+};
+
+sim::Engine::ProtocolSlot EcoCloudProtocol::install(sim::Engine& engine,
+                                                    const EcoCloudConfig& config,
+                                                    cloud::DataCenter& dc,
+                                                    std::uint64_t seed) {
+  GLAP_REQUIRE(engine.node_count() == dc.pm_count(),
+               "engine nodes must map 1:1 onto data-center PMs");
+  Rng master(hash_combine(seed, hash_tag("ecocloud")));
+  std::vector<std::unique_ptr<sim::Protocol>> instances;
+  instances.reserve(engine.node_count());
+  for (std::size_t i = 0; i < engine.node_count(); ++i)
+    instances.push_back(
+        std::make_unique<EcoCloudProtocol>(config, dc, master.split(i)));
+  const auto slot = engine.add_protocol_slot(std::move(instances));
+  for (std::size_t i = 0; i < engine.node_count(); ++i)
+    EcoCloudInstaller::set_slot(engine.protocol_at<EcoCloudProtocol>(
+                                    slot, static_cast<sim::NodeId>(i)),
+                                slot);
+  return slot;
+}
+
+double EcoCloudProtocol::acceptance_probability(
+    double utilization, const EcoCloudConfig& config) noexcept {
+  const double t2 = config.upper_threshold;
+  if (utilization < 0.0 || utilization >= t2) return 0.0;
+  const double x = utilization / t2;
+  const double p = config.accept_shape;
+  // f(x) = x^p (1 − x), normalized so the peak value is 1.
+  const double x_peak = p / (p + 1.0);
+  const double peak = std::pow(x_peak, p) * (1.0 - x_peak);
+  return std::pow(x, p) * (1.0 - x) / peak;
+}
+
+double EcoCloudProtocol::underload_migration_probability(
+    double utilization, const EcoCloudConfig& config) noexcept {
+  if (utilization < config.lower_threshold)
+    // Grows linearly as the server empties: scale at u=0, zero at T1…
+    return config.migrate_prob_scale *
+           (1.0 - utilization / config.lower_threshold);
+  if (utilization < config.upper_threshold) {
+    // …with a small residual drain in the (T1, T2) band, quadratically
+    // vanishing toward T2 (see mid_band_scale in the config).
+    const double slack = 1.0 - utilization / config.upper_threshold;
+    return config.mid_band_scale * slack * slack;
+  }
+  return 0.0;
+}
+
+std::optional<cloud::VmId> EcoCloudProtocol::pick_vm(cloud::PmId pm) const {
+  const auto& vms = dc_.pm(pm).vms();
+  if (vms.empty()) return std::nullopt;
+  cloud::VmId best = vms.front();
+  double best_mem = dc_.vm(best).current_usage().mem;
+  for (cloud::VmId v : vms) {
+    const double mem = dc_.vm(v).current_usage().mem;
+    if (mem < best_mem) {
+      best = v;
+      best_mem = mem;
+    }
+  }
+  return best;
+}
+
+bool EcoCloudProtocol::try_place(sim::Engine& engine, cloud::PmId source,
+                                 cloud::VmId vm) {
+  const std::size_t n = dc_.pm_count();
+  for (std::size_t probe = 0; probe < config_.probe_count; ++probe) {
+    const auto candidate = static_cast<cloud::PmId>(rng_.bounded(n));
+    if (candidate == source) continue;
+    if (!dc_.pm(candidate).is_on()) continue;
+    engine.network().count_message(static_cast<sim::NodeId>(source),
+                                   static_cast<sim::NodeId>(candidate),
+                                   kProbeMsgBytes);
+    const double u = dc_.current_utilization(candidate).max_component();
+    if (!rng_.bernoulli(acceptance_probability(u, config_))) continue;
+    if (!dc_.can_host(candidate, vm)) continue;
+    dc_.migrate(vm, candidate);
+    return true;
+  }
+  return false;
+}
+
+bool EcoCloudProtocol::try_evacuate(sim::Engine& engine, sim::NodeId self,
+                                    cloud::PmId source) {
+  const std::size_t n = dc_.pm_count();
+
+  // Plan: find an accepting target for every VM, reserving planned load.
+  std::unordered_map<cloud::PmId, Resources> reserved;
+  std::vector<std::pair<cloud::VmId, cloud::PmId>> plan;
+  for (cloud::VmId vm : dc_.pm(source).vms()) {
+    const Resources usage = dc_.vm(vm).current_usage();
+    bool placed = false;
+    for (std::size_t probe = 0; probe < config_.probe_count && !placed;
+         ++probe) {
+      const auto candidate = static_cast<cloud::PmId>(rng_.bounded(n));
+      if (candidate == source || !dc_.pm(candidate).is_on()) continue;
+      engine.network().count_message(self,
+                                     static_cast<sim::NodeId>(candidate),
+                                     kProbeMsgBytes);
+      const Resources pm_cap = dc_.pm(candidate).spec().capacity();
+      const Resources planned =
+          dc_.current_usage(candidate) + reserved[candidate];
+      const double u = planned.divided_by(pm_cap).max_component();
+      if (!rng_.bernoulli(acceptance_probability(u, config_))) continue;
+      if (!(planned + usage).fits_within(pm_cap)) continue;
+      reserved[candidate] += usage;
+      plan.emplace_back(vm, candidate);
+      placed = true;
+    }
+    if (!placed) return false;  // incomplete plan — nothing migrates
+  }
+
+  for (const auto& [vm, target] : plan) dc_.migrate(vm, target);
+  dc_.set_power(source, cloud::PmPower::kSleep);
+  engine.set_status(self, sim::NodeStatus::kSleeping);
+  return true;
+}
+
+void EcoCloudProtocol::next_cycle(sim::Engine& engine, sim::NodeId self) {
+  const auto p = static_cast<cloud::PmId>(self);
+  const Resources util = dc_.current_utilization(p);
+  const double u = util.max_component();
+
+  if (u > config_.upper_threshold) {
+    // Above T2: shed one VM via a Bernoulli trial whose probability ramps
+    // with the excess — gradual relief, not a hard rule (servers hovering
+    // at T2 would otherwise shed every round and churn forever).
+    const double excess =
+        (u - config_.upper_threshold) / (1.0 - config_.upper_threshold);
+    if (rng_.bernoulli(std::min(1.0, 0.1 * excess)))
+      if (const auto vm = pick_vm(p)) try_place(engine, p, *vm);
+    return;
+  }
+
+  if (cooldown_ > 0) {
+    --cooldown_;
+    return;
+  }
+  if (dc_.pm(p).empty()) {
+    dc_.set_power(p, cloud::PmPower::kSleep);
+    engine.set_status(self, sim::NodeStatus::kSleeping);
+    return;
+  }
+  if (rng_.bernoulli(underload_migration_probability(u, config_))) {
+    if (!try_evacuate(engine, self, p)) cooldown_ = config_.evacuation_cooldown;
+  }
+}
+
+}  // namespace glap::baselines

@@ -1,0 +1,173 @@
+// The data-center substrate: owns every PM and VM, the placement map, and
+// all the accounting the evaluation metrics read (migrations, energy, SLA).
+//
+// Round protocol (driven by the experiment harness):
+//   1. observe_demands(fracs)  — push this round's per-VM demand samples;
+//   2. consolidation protocols run and call migrate()/set_power();
+//   3. end_round()             — accumulate time-based metrics.
+//
+// Consolidation algorithms only mutate the data center through migrate()
+// and set_power(), so every placement invariant is enforced in one place.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cloud/migration.hpp"
+#include "cloud/pm.hpp"
+#include "cloud/sla.hpp"
+#include "cloud/vm.hpp"
+#include "common/rng.hpp"
+
+namespace glap::cloud {
+
+struct DataCenterConfig {
+  /// Specs used by the homogeneous constructor, and the reference PM
+  /// class for the BFD oracle in heterogeneous fleets.
+  PmSpec pm_spec = hp_proliant_ml110_g5();
+  VmSpec vm_spec = ec2_micro();
+  double round_seconds = 120.0;  ///< paper: each round mimics 2 minutes
+  SlaParams sla;
+  MigrationEnergyParams migration_energy;
+};
+
+class DataCenter {
+ public:
+  /// Homogeneous fleet: every PM is config.pm_spec, every VM
+  /// config.vm_spec (the paper's evaluation setting).
+  DataCenter(std::size_t pm_count, std::size_t vm_count,
+             DataCenterConfig config);
+
+  /// Heterogeneous fleet: one spec per PM and per VM.
+  DataCenter(std::vector<PmSpec> pm_specs, std::vector<VmSpec> vm_specs,
+             DataCenterConfig config);
+
+  // ------------------------------------------------------------ placement
+
+  /// Places VM `vm` on PM `pm` during initial setup (no migration cost).
+  void place(VmId vm, PmId pm);
+
+  /// Random initial placement, at most `max_per_pm` VMs per PM (0 = no
+  /// cap). The same seed reproduces the same placement, which the paper
+  /// requires to compare algorithms fairly.
+  void place_randomly(Rng& rng, std::size_t max_per_pm = 0);
+
+  /// Removes a placed VM from its host (churn departure). The VM keeps
+  /// its identity and demand-average history and may be re-placed later
+  /// via place().
+  void depart(VmId vm);
+
+  [[nodiscard]] bool is_placed(VmId vm) const;
+  [[nodiscard]] std::size_t placed_vm_count() const noexcept {
+    return placed_vms_;
+  }
+
+  /// Returns the current placement (vm -> pm) snapshot (departed VMs map
+  /// to PmId(-1)).
+  [[nodiscard]] std::vector<PmId> placement_snapshot() const;
+
+  // ------------------------------------------------------------- topology
+
+  [[nodiscard]] std::size_t pm_count() const noexcept { return pms_.size(); }
+  [[nodiscard]] std::size_t vm_count() const noexcept { return vms_.size(); }
+
+  [[nodiscard]] const Pm& pm(PmId id) const;
+  [[nodiscard]] const Vm& vm(VmId id) const;
+  [[nodiscard]] PmId host_of(VmId id) const;
+
+  [[nodiscard]] const DataCenterConfig& config() const noexcept {
+    return config_;
+  }
+
+  // ---------------------------------------------------------- utilization
+
+  /// Aggregate *current* usage of a PM in absolute units (MIPS, MB).
+  [[nodiscard]] Resources current_usage(PmId id) const;
+  /// Aggregate current usage as a fraction of PM capacity (may exceed 1
+  /// when the PM is oversubscribed — that is what overload means).
+  [[nodiscard]] Resources current_utilization(PmId id) const;
+  /// Same using the VMs' running-average demands (GLAP's state input).
+  [[nodiscard]] Resources average_utilization(PmId id) const;
+
+  /// A PM is overloaded when aggregate current demand reaches capacity on
+  /// any resource (CPU at 100% is the SLA-relevant case).
+  [[nodiscard]] bool overloaded(PmId id) const;
+  [[nodiscard]] bool cpu_saturated(PmId id) const;
+
+  /// True when `pm` can host `vm`'s *current* usage within capacity.
+  [[nodiscard]] bool can_host(PmId pm, VmId vm) const;
+
+  /// Number of PMs that are powered on.
+  [[nodiscard]] std::size_t active_pm_count() const noexcept {
+    return active_pms_;
+  }
+  /// Number of powered-on PMs currently overloaded.
+  [[nodiscard]] std::size_t overloaded_pm_count() const;
+
+  // ------------------------------------------------------------ mutation
+
+  /// Live-migrates `vm` to `to`. Validates that the source is not the
+  /// destination and that `to` is powered on, computes τ and migration
+  /// energy, and updates SLA degradation. Capacity is deliberately NOT
+  /// enforced here — policies differ in how strictly they check (that is
+  /// part of what the paper compares); use can_host() in the policy.
+  MigrationRecord migrate(VmId vm, PmId to);
+
+  /// Powers a PM on/off. Sleeping requires the PM to be empty.
+  void set_power(PmId id, PmPower power);
+
+  // ------------------------------------------------------- round protocol
+
+  /// Pushes this round's demand fractions (one entry per VM, indexed by
+  /// VmId) and updates every *placed* VM's running average; departed VMs'
+  /// samples are ignored (their workload does not exist right now).
+  void observe_demands(std::span<const Resources> fractions);
+
+  /// Closes the round: SLA time accounting and PM energy integration.
+  void end_round();
+
+  [[nodiscard]] std::uint32_t round() const noexcept { return round_; }
+
+  // -------------------------------------------------------------- metrics
+
+  [[nodiscard]] std::uint64_t total_migrations() const noexcept {
+    return migrations_.size();
+  }
+  [[nodiscard]] const std::vector<MigrationRecord>& migrations() const noexcept {
+    return migrations_;
+  }
+  /// Total migration-overhead energy so far (J), per paper Eq. 3.
+  [[nodiscard]] double migration_energy_joules() const noexcept {
+    return migration_energy_j_;
+  }
+  /// Total PM energy so far (J), from the linear power model.
+  [[nodiscard]] double total_energy_joules() const noexcept {
+    return total_energy_j_;
+  }
+  [[nodiscard]] const SlaAccounting& sla() const noexcept { return sla_; }
+
+  /// Migrations that completed during the current (not yet ended) round.
+  [[nodiscard]] std::uint64_t migrations_this_round() const noexcept {
+    return migrations_this_round_;
+  }
+
+ private:
+  [[nodiscard]] Pm& pm_mutable(PmId id);
+
+  DataCenterConfig config_;
+  std::vector<Pm> pms_;
+  std::vector<Vm> vms_;
+  std::vector<PmId> host_of_;
+  std::size_t placed_vms_ = 0;
+  std::vector<Resources> usage_cache_;  // per-PM aggregate current usage
+  std::size_t active_pms_;
+  std::vector<MigrationRecord> migrations_;
+  std::uint64_t migrations_this_round_ = 0;
+  double migration_energy_j_ = 0.0;
+  double total_energy_j_ = 0.0;
+  SlaAccounting sla_;
+  std::uint32_t round_ = 0;
+};
+
+}  // namespace glap::cloud

@@ -1,0 +1,3 @@
+#include "cloud/migration.hpp"
+
+// MigrationRecord is a plain aggregate; this TU anchors the target.

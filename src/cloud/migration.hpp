@@ -1,0 +1,19 @@
+// Record of one live migration, as produced by DataCenter::migrate.
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/specs.hpp"
+
+namespace glap::cloud {
+
+struct MigrationRecord {
+  VmId vm = 0;
+  PmId from = 0;
+  PmId to = 0;
+  std::uint32_t round = 0;
+  double tau_seconds = 0.0;
+  double energy_joules = 0.0;  ///< overhead energy per paper Eq. 3
+};
+
+}  // namespace glap::cloud

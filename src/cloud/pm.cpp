@@ -1,0 +1,14 @@
+#include "cloud/pm.hpp"
+
+#include <algorithm>
+
+namespace glap::cloud {
+
+bool Pm::remove_vm(VmId vm) {
+  auto it = std::find(vms_.begin(), vms_.end(), vm);
+  if (it == vms_.end()) return false;
+  vms_.erase(it);
+  return true;
+}
+
+}  // namespace glap::cloud

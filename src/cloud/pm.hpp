@@ -1,0 +1,47 @@
+// Physical machine: capacity, power state, and the set of hosted VMs.
+// Aggregated utilization lives on DataCenter (which owns the VM objects);
+// the PM only tracks membership and its power/activity bookkeeping.
+#pragma once
+
+#include <vector>
+
+#include "cloud/power.hpp"
+#include "cloud/specs.hpp"
+
+namespace glap::cloud {
+
+enum class PmPower : std::uint8_t { kOn, kSleep };
+
+class Pm {
+ public:
+  Pm(PmId id, PmSpec spec)
+      : id_(id), spec_(spec), power_model_(spec.power) {}
+
+  [[nodiscard]] PmId id() const noexcept { return id_; }
+  [[nodiscard]] const PmSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const LinearPowerModel& power_model() const noexcept {
+    return power_model_;
+  }
+
+  [[nodiscard]] PmPower power() const noexcept { return power_; }
+  [[nodiscard]] bool is_on() const noexcept { return power_ == PmPower::kOn; }
+
+  [[nodiscard]] const std::vector<VmId>& vms() const noexcept { return vms_; }
+  [[nodiscard]] bool empty() const noexcept { return vms_.empty(); }
+  [[nodiscard]] std::size_t vm_count() const noexcept { return vms_.size(); }
+
+ private:
+  friend class DataCenter;
+
+  void add_vm(VmId vm) { vms_.push_back(vm); }
+  bool remove_vm(VmId vm);
+  void set_power(PmPower p) noexcept { power_ = p; }
+
+  PmId id_;
+  PmSpec spec_;
+  LinearPowerModel power_model_;
+  PmPower power_ = PmPower::kOn;
+  std::vector<VmId> vms_;
+};
+
+}  // namespace glap::cloud

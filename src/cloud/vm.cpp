@@ -1,0 +1,15 @@
+#include "cloud/vm.hpp"
+
+#include "common/assert.hpp"
+
+namespace glap::cloud {
+
+void Vm::observe_demand(const Resources& fraction) {
+  GLAP_REQUIRE(fraction.cpu >= 0.0 && fraction.cpu <= 1.0 &&
+                   fraction.mem >= 0.0 && fraction.mem <= 1.0,
+               "demand fraction out of [0,1]");
+  demand_fraction_ = fraction;
+  tracker_.observe(fraction);
+}
+
+}  // namespace glap::cloud

@@ -1,0 +1,65 @@
+// Lightweight contract-checking macros used across the library.
+//
+// GLAP_REQUIRE is always on (checks user-facing API preconditions and
+// throws std::invalid_argument / std::logic_error style errors).
+// GLAP_ASSERT compiles to a cheap check in all build types; internal
+// invariants in hot loops should prefer GLAP_DEBUG_ASSERT which vanishes
+// in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace glap {
+
+/// Thrown when a documented API precondition is violated.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant is violated (indicates a bug).
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw precondition_error(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace glap
+
+#define GLAP_REQUIRE(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::glap::detail::throw_precondition(#expr, __FILE__, __LINE__,     \
+                                         (msg));                        \
+  } while (false)
+
+#define GLAP_ASSERT(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::glap::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define GLAP_DEBUG_ASSERT(expr, msg) ((void)0)
+#else
+#define GLAP_DEBUG_ASSERT(expr, msg) GLAP_ASSERT(expr, msg)
+#endif

@@ -1,0 +1,99 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace glap {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_values(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  char buf[32];
+  for (double v : values) {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    fields.emplace_back(buf);
+  }
+  write_row(fields);
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  return npos;
+}
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      cur += c;
+    }
+  }
+  GLAP_REQUIRE(!in_quotes, "unterminated quoted CSV field");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+CsvTable read_csv(std::istream& in, bool has_header) {
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = parse_csv_line(line);
+    if (first && has_header) {
+      table.header = std::move(fields);
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+    first = false;
+  }
+  return table;
+}
+
+}  // namespace glap

@@ -1,0 +1,44 @@
+// Tiny CSV reader/writer. Used to persist per-round metric series from
+// bench runs and to load externally supplied (real Google Cluster) traces.
+// Supports RFC-4180 style quoting for fields containing commas/quotes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace glap {
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+  /// Convenience overload that formats doubles with %.6g.
+  void write_row_values(const std::vector<double>& values);
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+};
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or npos when missing.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Parses a whole CSV document; first row is treated as the header when
+/// `has_header` is true. Throws glap::precondition_error on malformed input
+/// (unterminated quote).
+[[nodiscard]] CsvTable read_csv(std::istream& in, bool has_header = true);
+
+/// Parses one CSV record into fields (handles quoted fields).
+[[nodiscard]] std::vector<std::string> parse_csv_line(const std::string& line);
+
+}  // namespace glap

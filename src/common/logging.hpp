@@ -1,0 +1,43 @@
+// Leveled logging with a global threshold. Simulations are silent by
+// default; examples and benches raise the level for progress reporting.
+// Thread-safe: each log call formats into a local buffer and performs a
+// single locked write.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace glap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets/reads the global threshold (messages below it are dropped).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace glap
+
+#define GLAP_LOG_DEBUG() ::glap::detail::LogLine(::glap::LogLevel::kDebug)
+#define GLAP_LOG_INFO() ::glap::detail::LogLine(::glap::LogLevel::kInfo)
+#define GLAP_LOG_WARN() ::glap::detail::LogLine(::glap::LogLevel::kWarn)
+#define GLAP_LOG_ERROR() ::glap::detail::LogLine(::glap::LogLevel::kError)

@@ -1,0 +1,82 @@
+// Two-dimensional resource vector (CPU, memory) used across the stack:
+// trace demand fractions, VM/PM capacities, and utilization arithmetic.
+// The paper's model considers exactly these two resources; the state
+// calibration in qlearn generalizes to more via templates if ever needed.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace glap {
+
+struct Resources {
+  double cpu = 0.0;
+  double mem = 0.0;
+
+  constexpr Resources& operator+=(const Resources& o) noexcept {
+    cpu += o.cpu;
+    mem += o.mem;
+    return *this;
+  }
+  constexpr Resources& operator-=(const Resources& o) noexcept {
+    cpu -= o.cpu;
+    mem -= o.mem;
+    return *this;
+  }
+  constexpr Resources& operator*=(double k) noexcept {
+    cpu *= k;
+    mem *= k;
+    return *this;
+  }
+
+  friend constexpr Resources operator+(Resources a, const Resources& b) noexcept {
+    return a += b;
+  }
+  friend constexpr Resources operator-(Resources a, const Resources& b) noexcept {
+    return a -= b;
+  }
+  friend constexpr Resources operator*(Resources a, double k) noexcept {
+    return a *= k;
+  }
+  friend constexpr Resources operator*(double k, Resources a) noexcept {
+    return a *= k;
+  }
+  friend constexpr bool operator==(const Resources& a,
+                                   const Resources& b) noexcept {
+    return a.cpu == b.cpu && a.mem == b.mem;
+  }
+
+  /// Element-wise division (utilization = usage / capacity).
+  [[nodiscard]] constexpr Resources divided_by(const Resources& cap) const noexcept {
+    return {cap.cpu > 0 ? cpu / cap.cpu : 0.0,
+            cap.mem > 0 ? mem / cap.mem : 0.0};
+  }
+
+  /// Element-wise product (usage = fraction * capacity).
+  [[nodiscard]] constexpr Resources scaled_by(const Resources& o) const noexcept {
+    return {cpu * o.cpu, mem * o.mem};
+  }
+
+  /// True when every component of this fits within `cap`.
+  [[nodiscard]] constexpr bool fits_within(const Resources& cap) const noexcept {
+    return cpu <= cap.cpu && mem <= cap.mem;
+  }
+
+  [[nodiscard]] constexpr double max_component() const noexcept {
+    return cpu > mem ? cpu : mem;
+  }
+  [[nodiscard]] constexpr double sum() const noexcept { return cpu + mem; }
+  [[nodiscard]] constexpr double average() const noexcept {
+    return 0.5 * (cpu + mem);
+  }
+
+  [[nodiscard]] Resources clamped(double lo, double hi) const noexcept {
+    return {std::clamp(cpu, lo, hi), std::clamp(mem, lo, hi)};
+  }
+
+  [[nodiscard]] constexpr bool non_negative() const noexcept {
+    return cpu >= 0.0 && mem >= 0.0;
+  }
+};
+
+}  // namespace glap

@@ -1,0 +1,93 @@
+// Streaming and batch statistics used by the metric pipeline:
+// Welford accumulators, percentile summaries, histograms, and the
+// cosine-similarity helper the Fig. 5 convergence experiment relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace glap {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(n_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Median / arbitrary-percentile summary of a batch of samples.
+/// Percentiles use linear interpolation between order statistics
+/// (the same convention as numpy's default).
+struct PercentileSummary {
+  double p10 = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes an interpolated percentile; q in [0, 100]. Empty input -> 0.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+/// Computes the p10/median/p90 summary the paper reports in Figs. 7-8.
+[[nodiscard]] PercentileSummary summarize(std::vector<double> samples);
+
+/// Cosine similarity of two equal-length vectors; returns 1 for two
+/// zero vectors (identical) and 0 when exactly one is zero.
+[[nodiscard]] double cosine_similarity(const std::vector<double>& a,
+                                       const std::vector<double>& b);
+
+/// Fixed-width histogram over [lo, hi]; out-of-range samples clamp to the
+/// edge bins. Used by the trace explorer example and trace tests.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  /// Renders an ASCII bar chart (one line per bin).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace glap

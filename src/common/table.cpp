@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace glap {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_compact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3g", v);
+  return buf;
+}
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GLAP_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> row) {
+  GLAP_REQUIRE(row.size() == header_.size(),
+               "row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+void ConsoleTable::add_row_values(const std::string& label,
+                                  const std::vector<double>& values,
+                                  int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+std::string ConsoleTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    widths[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  std::ostringstream os;
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i ? "  " : "");
+      os << row[i];
+      for (std::size_t pad = row[i].size(); pad < widths[i]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) os << '-';
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+  return os.str();
+}
+
+}  // namespace glap

@@ -1,0 +1,33 @@
+// Console table rendering for bench output. The figure/table bench
+// binaries print the same rows/series the paper reports; this formats
+// them in aligned ASCII so the shapes are easy to eyeball.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace glap {
+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Formats doubles with the given precision.
+  void add_row_values(const std::string& label,
+                      const std::vector<double>& values, int precision = 3);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision into a string.
+[[nodiscard]] std::string format_double(double v, int precision = 3);
+
+/// Formats v in scientific-ish compact form (%.3g), for SLAV-style values.
+[[nodiscard]] std::string format_compact(double v);
+
+}  // namespace glap

@@ -1,0 +1,210 @@
+#include "core/consolidation.hpp"
+
+#include <algorithm>
+
+namespace glap::core {
+
+namespace {
+constexpr std::size_t kStateMsgBytes = 32;  // (cpu, mem) current + average
+}
+
+GlapConsolidationProtocol::GlapConsolidationProtocol(
+    const GlapConfig& config, cloud::DataCenter& dc,
+    sim::Engine::ProtocolSlot overlay_slot,
+    sim::Engine::ProtocolSlot learning_slot,
+    const cloud::RackTopology* topology, Rng rng)
+    : config_(config),
+      dc_(dc),
+      overlay_slot_(overlay_slot),
+      learning_slot_(learning_slot),
+      topology_(topology),
+      rng_(rng) {
+  GLAP_REQUIRE(config.rack_affinity >= 0.0 && config.rack_affinity <= 1.0,
+               "rack_affinity out of [0,1]");
+}
+
+sim::Engine::ProtocolSlot GlapConsolidationProtocol::install(
+    sim::Engine& engine, const GlapConfig& config, cloud::DataCenter& dc,
+    sim::Engine::ProtocolSlot overlay_slot,
+    sim::Engine::ProtocolSlot learning_slot, std::uint64_t seed,
+    const cloud::RackTopology* topology) {
+  GLAP_REQUIRE(engine.node_count() == dc.pm_count(),
+               "engine nodes must map 1:1 onto data-center PMs");
+  Rng master(hash_combine(seed, hash_tag("glap-consolidation")));
+  std::vector<std::unique_ptr<sim::Protocol>> instances;
+  instances.reserve(engine.node_count());
+  for (std::size_t i = 0; i < engine.node_count(); ++i)
+    instances.push_back(std::make_unique<GlapConsolidationProtocol>(
+        config, dc, overlay_slot, learning_slot, topology,
+        master.split(i)));
+  return engine.add_protocol_slot(std::move(instances));
+}
+
+std::optional<sim::NodeId> GlapConsolidationProtocol::sample_peer(
+    sim::Engine& engine, sim::NodeId self) {
+  if (topology_ && config_.rack_affinity > 0.0 &&
+      rng_.bernoulli(config_.rack_affinity)) {
+    const auto rack = topology_->rack_of(static_cast<cloud::PmId>(self));
+    auto members = topology_->members(rack);
+    rng_.shuffle(members);
+    for (cloud::PmId peer : members) {
+      if (peer == static_cast<cloud::PmId>(self)) continue;
+      if (engine.is_active(static_cast<sim::NodeId>(peer)))
+        return static_cast<sim::NodeId>(peer);
+    }
+    // Whole rack asleep or solitary: fall through to the overlay.
+  }
+  auto& sampler =
+      engine.protocol_at<overlay::NeighborProvider>(overlay_slot_, self);
+  return sampler.sample_active_peer(engine, self);
+}
+
+qlearn::State GlapConsolidationProtocol::pm_state(cloud::PmId pm) const {
+  const Resources util = config_.use_average_state
+                             ? dc_.average_utilization(pm)
+                             : dc_.current_utilization(pm);
+  return qlearn::classify(util.cpu, util.mem);
+}
+
+void GlapConsolidationProtocol::next_cycle(sim::Engine& engine,
+                                           sim::NodeId self) {
+  // The learning component feeds this one: consolidation pauses until the
+  // two-phase learning pre-run has produced unified Q-values and the
+  // configured start round (the experiment's warmup) has passed.
+  const sim::Round cycle = cycles_++;
+  if (cycle < config_.consolidation_start_round) return;
+  auto& learning = engine.protocol_at<GossipLearningProtocol>(
+      learning_slot_, self);
+  if (learning.phase() != GossipLearningProtocol::Phase::kIdle &&
+      !config_.continue_during_relearn)
+    return;
+
+  const auto peer = sample_peer(engine, self);
+  if (!peer) return;
+
+  // Push-pull state exchange (Algorithm 3, lines 1-10).
+  engine.network().count_message(self, *peer, kStateMsgBytes);
+  engine.network().count_message(*peer, self, kStateMsgBytes);
+  ++stats_.exchanges;
+
+  update_state(engine, static_cast<cloud::PmId>(self),
+               static_cast<cloud::PmId>(*peer));
+}
+
+void GlapConsolidationProtocol::update_state(sim::Engine& engine,
+                                             cloud::PmId p, cloud::PmId q) {
+  // Overload relief takes priority (lines 12-13); since the interaction is
+  // push-pull, an overloaded passive party sheds symmetrically.
+  if (dc_.overloaded(p)) {
+    migrate_loop(engine, p, q, Mode::kShedOverload);
+    return;
+  }
+  if (dc_.overloaded(q)) {
+    migrate_loop(engine, q, p, Mode::kShedOverload);
+    return;
+  }
+
+  // Otherwise the less-utilized PM drains toward switch-off (lines 14-16).
+  // Rack-aware variant: across racks, the PM of the *emptier rack* drains
+  // first so whole racks (and their switches) can power down.
+  double up = dc_.average_utilization(p).sum();
+  double uq = dc_.average_utilization(q).sum();
+  if (topology_ && config_.rack_affinity > 0.0) {
+    const auto rack_p = topology_->rack_of(p);
+    const auto rack_q = topology_->rack_of(q);
+    if (rack_p != rack_q) {
+      up = topology_->rack_load(dc_, rack_p);
+      uq = topology_->rack_load(dc_, rack_q);
+    }
+  }
+  const cloud::PmId sender = up <= uq ? p : q;
+  const cloud::PmId recipient = up <= uq ? q : p;
+  migrate_loop(engine, sender, recipient, Mode::kDrainToSleep);
+
+  if (dc_.pm(sender).empty()) {
+    dc_.set_power(sender, cloud::PmPower::kSleep);
+    engine.set_status(static_cast<sim::NodeId>(sender),
+                      sim::NodeStatus::kSleeping);
+    ++stats_.switch_offs;
+  }
+}
+
+std::optional<std::pair<cloud::VmId, qlearn::Action>>
+GlapConsolidationProtocol::find_vm(const qlearn::QTable& out_table,
+                                   qlearn::State sender_state,
+                                   cloud::PmId sender) const {
+  const auto& vms = dc_.pm(sender).vms();
+  if (vms.empty()) return std::nullopt;
+
+  // π_out: the available action with the greatest Q_out(s, ·).
+  std::vector<qlearn::Action> actions;
+  actions.reserve(vms.size());
+  for (cloud::VmId v : vms) {
+    const cloud::Vm& vm = dc_.vm(v);
+    const Resources frac = config_.use_average_state ? vm.average_fraction()
+                                                     : vm.demand_fraction();
+    actions.push_back(qlearn::classify(frac.cpu, frac.mem));
+  }
+  const auto best = out_table.best_action(sender_state, actions);
+  if (!best) return std::nullopt;
+
+  // Among VMs matching the chosen action, pick the least migration cost
+  // (smallest current memory footprint — memory drives τ).
+  std::optional<cloud::VmId> chosen;
+  double chosen_mem = 0.0;
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    if (!(actions[i] == *best)) continue;
+    const double mem = dc_.vm(vms[i]).current_usage().mem;
+    if (!chosen || mem < chosen_mem) {
+      chosen = vms[i];
+      chosen_mem = mem;
+    }
+  }
+  GLAP_ASSERT(chosen.has_value(), "best_action returned unavailable action");
+  return std::make_pair(*chosen, *best);
+}
+
+std::size_t GlapConsolidationProtocol::migrate_loop(sim::Engine& engine,
+                                                    cloud::PmId sender,
+                                                    cloud::PmId recipient,
+                                                    Mode mode) {
+  auto& learning = engine.protocol_at<GossipLearningProtocol>(
+      learning_slot_, static_cast<sim::NodeId>(sender));
+  const QTablePair& tables = learning.tables();
+
+  std::size_t moved = 0;
+  const std::size_t cap = dc_.pm(sender).vm_count();
+  for (std::size_t attempt = 0; attempt < cap; ++attempt) {
+    const bool keep_going = mode == Mode::kShedOverload
+                                ? dc_.overloaded(sender)
+                                : !dc_.pm(sender).empty();
+    if (!keep_going) break;
+
+    const auto pick = find_vm(tables.out, pm_state(sender), sender);
+    if (!pick) {
+      ++stats_.no_vm_available;
+      break;
+    }
+    const auto [vm, action] = *pick;
+
+    // π_in evaluated on the sender's copy of the (unified) IN table.
+    if (tables.in.value(pm_state(recipient), action) < 0.0) {
+      ++stats_.rejected_by_pi_in;
+      break;
+    }
+    if (!dc_.can_host(recipient, vm)) {
+      ++stats_.rejected_by_capacity;
+      break;
+    }
+
+    dc_.migrate(vm, recipient);
+    engine.network().count_message(static_cast<sim::NodeId>(sender),
+                                   static_cast<sim::NodeId>(recipient),
+                                   kStateMsgBytes);
+    ++stats_.migrations;
+    ++moved;
+  }
+  return moved;
+}
+
+}  // namespace glap::core

@@ -1,0 +1,92 @@
+// The Gossip Workload Consolidation component (paper §IV-D, Algorithm 3).
+//
+// Each round a PM exchanges state with one random overlay neighbor
+// (push-pull). If either party is overloaded it sheds VMs while
+// overloaded; otherwise the PM with the lower (average) total utilization
+// becomes the sender and drains toward switch-off. Every candidate
+// migration passes three gates evaluated *on the sender* (Q-tables are
+// identical after aggregation, and the sender knows the target's state, so
+// no extra round-trip is needed):
+//   1. π_out — the VM whose action has the greatest Q_out(s_sender, ·),
+//      ties broken by least migration cost (current memory footprint);
+//   2. π_in  — rejected when Q_in(s_target, a) < 0 (the learned predictor
+//      of "this lands the target in overload now or soon");
+//   3. capacity — the target must fit the VM's *current* demand.
+// A sender that fully drains switches to sleep and leaves the overlay.
+#pragma once
+
+#include "cloud/datacenter.hpp"
+#include "cloud/topology.hpp"
+#include "core/config.hpp"
+#include "core/gossip_learning.hpp"
+#include "overlay/neighbor_provider.hpp"
+
+namespace glap::core {
+
+/// Per-run consolidation counters (for tests and ablation benches).
+struct ConsolidationStats {
+  std::uint64_t exchanges = 0;       ///< state push-pulls performed
+  std::uint64_t migrations = 0;      ///< successful migrations initiated
+  std::uint64_t rejected_by_pi_in = 0;
+  std::uint64_t rejected_by_capacity = 0;
+  std::uint64_t no_vm_available = 0;
+  std::uint64_t switch_offs = 0;
+};
+
+class GlapConsolidationProtocol final : public sim::Protocol {
+ public:
+  /// `topology` may be null (vanilla GLAP); when set and
+  /// config.rack_affinity > 0, peer sampling and the drain rule become
+  /// rack-aware (see GlapConfig::rack_affinity).
+  GlapConsolidationProtocol(const GlapConfig& config, cloud::DataCenter& dc,
+                            sim::Engine::ProtocolSlot overlay_slot,
+                            sim::Engine::ProtocolSlot learning_slot,
+                            const cloud::RackTopology* topology, Rng rng);
+
+  static sim::Engine::ProtocolSlot install(
+      sim::Engine& engine, const GlapConfig& config, cloud::DataCenter& dc,
+      sim::Engine::ProtocolSlot overlay_slot,
+      sim::Engine::ProtocolSlot learning_slot, std::uint64_t seed,
+      const cloud::RackTopology* topology = nullptr);
+
+  void next_cycle(sim::Engine& engine, sim::NodeId self) override;
+
+  [[nodiscard]] const ConsolidationStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  enum class Mode { kShedOverload, kDrainToSleep };
+
+  /// UPDATESTATE: decides roles and runs the MIGRATE loop.
+  void update_state(sim::Engine& engine, cloud::PmId p, cloud::PmId q);
+
+  /// MIGRATE loop from `sender` to `recipient`; returns the number of VMs
+  /// moved. Stops on π_in rejection, missing VM, or lack of capacity.
+  std::size_t migrate_loop(sim::Engine& engine, cloud::PmId sender,
+                           cloud::PmId recipient, Mode mode);
+
+  /// π_out + least-migration-cost tie-break. Returns the chosen VM and its
+  /// action, or nullopt when the sender hosts no VMs.
+  [[nodiscard]] std::optional<std::pair<cloud::VmId, qlearn::Action>> find_vm(
+      const qlearn::QTable& out_table, qlearn::State sender_state,
+      cloud::PmId sender) const;
+
+  [[nodiscard]] qlearn::State pm_state(cloud::PmId pm) const;
+
+  /// Rack-affinity peer sampling: a random active same-rack PM with
+  /// probability rack_affinity, the overlay sample otherwise.
+  [[nodiscard]] std::optional<sim::NodeId> sample_peer(sim::Engine& engine,
+                                                       sim::NodeId self);
+
+  GlapConfig config_;
+  cloud::DataCenter& dc_;
+  sim::Engine::ProtocolSlot overlay_slot_;
+  sim::Engine::ProtocolSlot learning_slot_;
+  const cloud::RackTopology* topology_;
+  Rng rng_;
+  ConsolidationStats stats_;
+  sim::Round cycles_ = 0;
+};
+
+}  // namespace glap::core

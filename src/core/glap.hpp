@@ -1,0 +1,54 @@
+// Public entry point for the GLAP stack: wires the three components of
+// Fig. 2 (Cyclon membership, Gossip Learning, Gossip Consolidation) onto a
+// simulation engine driving a data center.
+#pragma once
+
+#include "cloud/datacenter.hpp"
+#include "core/config.hpp"
+#include "core/consolidation.hpp"
+#include "core/gossip_learning.hpp"
+#include "overlay/cyclon.hpp"
+
+namespace glap::core {
+
+struct GlapSlots {
+  sim::Engine::ProtocolSlot overlay;
+  sim::Engine::ProtocolSlot learning;
+  sim::Engine::ProtocolSlot consolidation;
+};
+
+/// Installs Cyclon + GossipLearning + GlapConsolidation on `engine` (one
+/// instance of each per node). Consolidation activates at
+/// config.consolidation_start_round. Pass a RackTopology (outliving the
+/// engine) to enable the rack-aware variant (config.rack_affinity).
+[[nodiscard]] inline GlapSlots install_glap(
+    sim::Engine& engine, cloud::DataCenter& dc, const GlapConfig& config,
+    const overlay::CyclonConfig& cyclon_config, std::uint64_t seed,
+    const cloud::RackTopology* topology = nullptr) {
+  GlapSlots slots{};
+  slots.overlay = overlay::CyclonProtocol::install(engine, cyclon_config,
+                                                   seed);
+  slots.learning = GossipLearningProtocol::install(engine, config, dc,
+                                                   slots.overlay, seed);
+  slots.consolidation = GlapConsolidationProtocol::install(
+      engine, config, dc, slots.overlay, slots.learning, seed, topology);
+  return slots;
+}
+
+/// As install_glap, but on an already-installed peer-sampling overlay
+/// (any NeighborProvider slot — Cyclon, Newscast, or a static graph),
+/// enabling overlay ablations.
+[[nodiscard]] inline GlapSlots install_glap_on(
+    sim::Engine& engine, cloud::DataCenter& dc, const GlapConfig& config,
+    sim::Engine::ProtocolSlot overlay_slot, std::uint64_t seed,
+    const cloud::RackTopology* topology = nullptr) {
+  GlapSlots slots{};
+  slots.overlay = overlay_slot;
+  slots.learning = GossipLearningProtocol::install(engine, config, dc,
+                                                   slots.overlay, seed);
+  slots.consolidation = GlapConsolidationProtocol::install(
+      engine, config, dc, slots.overlay, slots.learning, seed, topology);
+  return slots;
+}
+
+}  // namespace glap::core

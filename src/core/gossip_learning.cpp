@@ -1,0 +1,128 @@
+#include "core/gossip_learning.hpp"
+
+namespace glap::core {
+
+namespace {
+constexpr std::size_t kQEntryBytes = 12;       // key + value on the wire
+constexpr std::size_t kProfileBytes = 48;      // one VM profile on the wire
+}
+
+GossipLearningProtocol::GossipLearningProtocol(
+    const GlapConfig& config, cloud::DataCenter& dc,
+    sim::Engine::ProtocolSlot overlay_slot, Resources pm_capacity, Rng rng)
+    : config_(config),
+      dc_(dc),
+      overlay_slot_(overlay_slot),
+      trainer_(config, pm_capacity, rng),
+      learning_rounds_(config.learning_rounds),
+      aggregation_rounds_(config.aggregation_rounds) {}
+
+void GossipLearningProtocol::retrigger(sim::Round learning_rounds,
+                                       sim::Round aggregation_rounds) {
+  cycles_ = 0;
+  learning_rounds_ = learning_rounds;
+  aggregation_rounds_ = aggregation_rounds;
+}
+
+struct GossipLearningInstaller {
+  static void set_slot(GossipLearningProtocol& p,
+                       sim::Engine::ProtocolSlot slot) {
+    p.self_slot_ = slot;
+    p.self_slot_known_ = true;
+  }
+};
+
+sim::Engine::ProtocolSlot GossipLearningProtocol::install(
+    sim::Engine& engine, const GlapConfig& config, cloud::DataCenter& dc,
+    sim::Engine::ProtocolSlot overlay_slot, std::uint64_t seed) {
+  GLAP_REQUIRE(engine.node_count() == dc.pm_count(),
+               "engine nodes must map 1:1 onto data-center PMs");
+  Rng master(hash_combine(seed, hash_tag("gossip-learning")));
+  std::vector<std::unique_ptr<sim::Protocol>> instances;
+  instances.reserve(engine.node_count());
+  for (std::size_t i = 0; i < engine.node_count(); ++i)
+    instances.push_back(std::make_unique<GossipLearningProtocol>(
+        config, dc, overlay_slot,
+        dc.pm(static_cast<cloud::PmId>(i)).spec().capacity(),
+        master.split(i)));
+  const auto slot = engine.add_protocol_slot(std::move(instances));
+  for (std::size_t i = 0; i < engine.node_count(); ++i)
+    GossipLearningInstaller::set_slot(
+        engine.protocol_at<GossipLearningProtocol>(
+            slot, static_cast<sim::NodeId>(i)),
+        slot);
+  return slot;
+}
+
+GossipLearningProtocol::Phase GossipLearningProtocol::phase() const noexcept {
+  if (cycles_ < learning_rounds_) return Phase::kLearning;
+  if (cycles_ < learning_rounds_ + aggregation_rounds_)
+    return Phase::kAggregation;
+  return Phase::kIdle;
+}
+
+void GossipLearningProtocol::next_cycle(sim::Engine& engine,
+                                        sim::NodeId self) {
+  const Phase current = phase();
+  ++cycles_;
+  switch (current) {
+    case Phase::kLearning:
+      learning_cycle(engine, self);
+      break;
+    case Phase::kAggregation:
+      aggregation_cycle(engine, self);
+      break;
+    case Phase::kIdle:
+      break;
+  }
+}
+
+void GossipLearningProtocol::learning_cycle(sim::Engine& engine,
+                                            sim::NodeId self) {
+  // Only lightly loaded PMs train, to avoid disturbing collocated VMs
+  // (paper: PMs with ≥50% free CPU run the algorithm locally).
+  const Resources util =
+      dc_.average_utilization(static_cast<cloud::PmId>(self));
+  if (util.max_component() > config_.learning_util_threshold) return;
+
+  auto& sampler = engine.protocol_at<overlay::NeighborProvider>(
+      overlay_slot_, self);
+  std::vector<VmProfile> pool =
+      profiles_of(dc_, static_cast<cloud::PmId>(self));
+  if (const auto peer = sampler.sample_active_peer(engine, self)) {
+    GLAP_ASSERT(self_slot_known_, "learning protocol used before install()");
+    auto& remote = engine.protocol_at<GossipLearningProtocol>(self_slot_,
+                                                              *peer);
+    auto remote_profiles = remote.shared_profiles(*peer);
+    engine.network().count_message(*peer, self,
+                                   remote_profiles.size() * kProfileBytes);
+    pool.insert(pool.end(), remote_profiles.begin(), remote_profiles.end());
+  }
+  pool = trainer_.duplicate_if_required(std::move(pool));
+  trainer_.train_round(pool, tables_);
+}
+
+void GossipLearningProtocol::aggregation_cycle(sim::Engine& engine,
+                                               sim::NodeId self) {
+  auto& sampler = engine.protocol_at<overlay::NeighborProvider>(
+      overlay_slot_, self);
+  const auto peer = sampler.sample_active_peer(engine, self);
+  if (!peer) return;
+  GLAP_ASSERT(self_slot_known_, "learning protocol used before install()");
+  auto& remote =
+      engine.protocol_at<GossipLearningProtocol>(self_slot_, *peer);
+
+  engine.network().count_message(self, *peer,
+                                 tables_.size() * kQEntryBytes);
+  engine.network().count_message(*peer, self,
+                                 remote.tables_.size() * kQEntryBytes);
+
+  // Push-pull merge (Algorithm 2): both parties apply UPDATE and end up
+  // with the identical averaged/unioned table.
+  QTablePair merged = tables_;
+  merged.merge_average(remote.tables_);
+  tables_ = merged;
+  remote.tables_ = std::move(merged);
+}
+
+}  // namespace glap::core

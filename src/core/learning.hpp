@@ -1,0 +1,60 @@
+// Local training — the learning phase of the two-phase protocol
+// (Algorithm 1). A PM simulates the consolidation process over a pool of
+// VM profiles (its own plus one neighbor's, duplicated to cover highly
+// loaded states): k times per round it draws a sender subset and a target
+// subset, "migrates" a random VM between them, and applies the Bellman
+// update to both Q-tables.
+//
+// The states before an action (and the VM's action level) come from
+// *average* demands; the state after the action comes from *current*
+// demands — the §IV-B split that teaches the tables how volatile each
+// workload pattern really is.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/config.hpp"
+#include "core/profiles.hpp"
+#include "core/qtable_pair.hpp"
+#include "core/rewards.hpp"
+
+namespace glap::core {
+
+class LocalTrainer {
+ public:
+  LocalTrainer(const GlapConfig& config, Resources pm_capacity, Rng rng);
+
+  /// Duplicates `pool` entries (round-robin) until the pool's aggregate
+  /// average CPU could fill `duplicate_pool_pm_multiple` PMs; no-op when
+  /// the pool is already big enough or empty.
+  [[nodiscard]] std::vector<VmProfile> duplicate_if_required(
+      std::vector<VmProfile> pool) const;
+
+  /// One learning round: k simulated consolidation steps over `pool`,
+  /// updating `tables` in place. Pools smaller than 2 profiles are a no-op
+  /// (nothing to migrate between subsets).
+  void train_round(const std::vector<VmProfile>& pool, QTablePair& tables);
+
+  [[nodiscard]] const RewardSystem& rewards() const noexcept {
+    return rewards_;
+  }
+
+ private:
+  /// Draws a random subset of pool indices whose aggregate average CPU
+  /// utilization approaches a uniformly drawn target in [0.05, 1.1].
+  [[nodiscard]] std::vector<std::size_t> draw_subset(
+      const std::vector<VmProfile>& pool);
+
+  [[nodiscard]] qlearn::State subset_state(
+      const std::vector<VmProfile>& pool,
+      const std::vector<std::size_t>& subset, bool use_average,
+      std::size_t excluded, const VmProfile* added) const;
+
+  GlapConfig config_;
+  Resources pm_capacity_;
+  RewardSystem rewards_;
+  Rng rng_;
+};
+
+}  // namespace glap::core

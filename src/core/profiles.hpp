@@ -1,0 +1,56 @@
+// VM profiles — the data the VMM shares with GLAP components (paper §III).
+// A profile carries the VM's current and running-average demand plus its
+// nominal allocation; the learning phase trains on pools of profiles
+// (local + one neighbor's), never on live VM objects.
+#pragma once
+
+#include <vector>
+
+#include "cloud/datacenter.hpp"
+#include "common/resources.hpp"
+#include "qlearn/levels.hpp"
+
+namespace glap::core {
+
+struct VmProfile {
+  Resources current_usage;  ///< absolute (MIPS, MB)
+  Resources average_usage;  ///< absolute (MIPS, MB)
+  Resources allocation;     ///< nominal (MIPS, MB)
+
+  /// The VM's action level: its demand relative to its own allocation
+  /// (see DESIGN.md §3 — with micro VMs on large PMs, PM-relative levels
+  /// would collapse onto Low and erase the action space).
+  [[nodiscard]] qlearn::Action action(bool use_average) const noexcept {
+    const Resources frac = (use_average ? average_usage : current_usage)
+                               .divided_by(allocation);
+    return qlearn::classify(frac.cpu, frac.mem);
+  }
+};
+
+/// Extracts the profiles of every VM currently hosted on `pm`.
+[[nodiscard]] inline std::vector<VmProfile> profiles_of(
+    const cloud::DataCenter& dc, cloud::PmId pm) {
+  std::vector<VmProfile> out;
+  const auto& vms = dc.pm(pm).vms();
+  out.reserve(vms.size());
+  for (cloud::VmId v : vms) {
+    const cloud::Vm& vm = dc.vm(v);
+    out.push_back({vm.current_usage(), vm.average_usage(),
+                   vm.spec().capacity()});
+  }
+  return out;
+}
+
+/// PM state of a profile set: aggregate usage over the PM capacity,
+/// classified into levels. `use_average` selects which usage signal.
+[[nodiscard]] inline qlearn::State state_of_profiles(
+    const std::vector<VmProfile>& profiles, const Resources& pm_capacity,
+    bool use_average) noexcept {
+  Resources sum;
+  for (const auto& p : profiles)
+    sum += use_average ? p.average_usage : p.current_usage;
+  const Resources util = sum.divided_by(pm_capacity);
+  return qlearn::classify(util.cpu, util.mem);
+}
+
+}  // namespace glap::core

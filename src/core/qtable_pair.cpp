@@ -1,0 +1,37 @@
+#include "core/qtable_pair.hpp"
+
+#include <cmath>
+
+namespace glap::core {
+
+namespace {
+struct DotTerms {
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+};
+
+DotTerms accumulate(const qlearn::QTable& a, const qlearn::QTable& b) {
+  DotTerms t;
+  for (const auto& [key, qa] : a.entries()) {
+    t.norm_a += qa * qa;
+    const auto it = b.entries().find(key);
+    if (it != b.entries().end()) t.dot += qa * it->second;
+  }
+  for (const auto& [key, qb] : b.entries()) t.norm_b += qb * qb;
+  return t;
+}
+}  // namespace
+
+double cosine_similarity(const QTablePair& a, const QTablePair& b) {
+  const DotTerms t_out = accumulate(a.out, b.out);
+  const DotTerms t_in = accumulate(a.in, b.in);
+  const double dot = t_out.dot + t_in.dot;
+  const double na = t_out.norm_a + t_in.norm_a;
+  const double nb = t_out.norm_b + t_in.norm_b;
+  if (na == 0.0 && nb == 0.0) return 1.0;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace glap::core

@@ -1,0 +1,37 @@
+#include "core/rewards.hpp"
+
+#include "common/assert.hpp"
+
+namespace glap::core {
+
+RewardSystem::RewardSystem(RewardParams params) : params_(params) {
+  GLAP_REQUIRE(params.out_step > 0.0, "out_step must be positive");
+  GLAP_REQUIRE(params.out_base -
+                       params.out_step * (qlearn::kLevelCount - 1) >
+                   0.0,
+               "reward OUT must stay positive at Overload (r_O > 0)");
+  GLAP_REQUIRE(params.in_step > 0.0, "in_step must be positive");
+  GLAP_REQUIRE(params.in_base > 0.0, "reward IN base must be positive");
+  GLAP_REQUIRE(params.in_overload < 0.0, "reward IN Overload must be negative");
+}
+
+double RewardSystem::out_level_reward(qlearn::Level level) const noexcept {
+  return params_.out_base -
+         params_.out_step * static_cast<double>(qlearn::level_index(level));
+}
+
+double RewardSystem::in_level_reward(qlearn::Level level) const noexcept {
+  if (level == qlearn::Level::kOverload) return params_.in_overload;
+  return params_.in_base +
+         params_.in_step * static_cast<double>(qlearn::level_index(level));
+}
+
+double RewardSystem::out_reward(qlearn::LevelPair next) const noexcept {
+  return out_level_reward(next.cpu) + out_level_reward(next.mem);
+}
+
+double RewardSystem::in_reward(qlearn::LevelPair next) const noexcept {
+  return in_level_reward(next.cpu) + in_level_reward(next.mem);
+}
+
+}  // namespace glap::core

@@ -1,0 +1,34 @@
+// The two reward systems of GLAP (paper §IV-A). The reward of a transition
+// is the sum over resources of the per-level reward of the *post-action*
+// state ("the total reward of any transition from s to s' is aggregation
+// rewards of each resource").
+#pragma once
+
+#include "core/config.hpp"
+#include "qlearn/levels.hpp"
+
+namespace glap::core {
+
+class RewardSystem {
+ public:
+  explicit RewardSystem(RewardParams params);
+
+  /// Per-resource sender reward of landing on `level`; always positive and
+  /// strictly decreasing in the level.
+  [[nodiscard]] double out_level_reward(qlearn::Level level) const noexcept;
+
+  /// Per-resource recipient reward: positive, increasing toward 5xHigh,
+  /// strongly negative at Overload.
+  [[nodiscard]] double in_level_reward(qlearn::Level level) const noexcept;
+
+  /// Transition rewards: sum of per-resource level rewards of `next`.
+  [[nodiscard]] double out_reward(qlearn::LevelPair next) const noexcept;
+  [[nodiscard]] double in_reward(qlearn::LevelPair next) const noexcept;
+
+  [[nodiscard]] const RewardParams& params() const noexcept { return params_; }
+
+ private:
+  RewardParams params_;
+};
+
+}  // namespace glap::core

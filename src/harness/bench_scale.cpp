@@ -1,0 +1,38 @@
+#include "harness/bench_scale.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace glap::harness {
+
+BenchScale bench_scale_from_env() {
+  BenchScale scale;
+  const char* env = std::getenv("GLAP_BENCH_SCALE");
+  const bool full = env && std::string_view(env) == "full";
+  if (full) {
+    scale.sizes = {500, 1000, 2000};
+    scale.ratios = {2, 3, 4};
+    scale.repetitions = 5;
+    scale.rounds = 720;
+    scale.warmup_rounds = 700;
+  } else {
+    scale.sizes = {150};
+    scale.ratios = {2, 3, 4};
+    scale.repetitions = 2;
+    scale.rounds = 160;
+    scale.warmup_rounds = 160;
+  }
+  if (const char* reps = std::getenv("GLAP_BENCH_REPS")) {
+    const long parsed = std::strtol(reps, nullptr, 10);
+    if (parsed > 0) scale.repetitions = static_cast<std::size_t>(parsed);
+  }
+  return scale;
+}
+
+void apply_scale(ExperimentConfig& config, const BenchScale& scale) {
+  config.rounds = scale.rounds;
+  config.warmup_rounds = scale.warmup_rounds;
+  config.fit_glap_phases_to_warmup();
+}
+
+}  // namespace glap::harness

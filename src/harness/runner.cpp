@@ -1,0 +1,311 @@
+#include "harness/runner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "baselines/bfd.hpp"
+#include "core/glap.hpp"
+#include "trace/demand_model.hpp"
+
+namespace glap::harness {
+
+std::string ExperimentConfig::label() const {
+  std::ostringstream os;
+  os << pm_count << '-' << vm_ratio << ' ' << to_string(algorithm)
+     << " seed=" << seed;
+  return os.str();
+}
+
+namespace {
+
+/// Builds the per-entity spec vectors for a heterogeneous fleet; class
+/// choice depends only on (seed, index), never on the algorithm.
+template <typename Class, typename Spec>
+std::vector<Spec> draw_specs(const std::vector<Class>& classes,
+                             const Spec& fallback, std::size_t count,
+                             Rng rng) {
+  if (classes.empty()) return std::vector<Spec>(count, fallback);
+  double total = 0.0;
+  for (const auto& c : classes) {
+    GLAP_REQUIRE(c.weight >= 0.0, "fleet class weight must be non-negative");
+    total += c.weight;
+  }
+  GLAP_REQUIRE(total > 0.0, "fleet class weights must not all be zero");
+  std::vector<Spec> specs;
+  specs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    double pick = rng.uniform() * total;
+    const Class* chosen = &classes.back();
+    for (const auto& c : classes) {
+      pick -= c.weight;
+      if (pick < 0.0) {
+        chosen = &c;
+        break;
+      }
+    }
+    specs.push_back(chosen->spec);
+  }
+  return specs;
+}
+
+/// Mean cosine similarity of Q-table pairs over sampled node pairs.
+double sample_convergence(sim::Engine& engine,
+                          sim::Engine::ProtocolSlot learning_slot,
+                          std::size_t pair_count, Rng& rng) {
+  const std::size_t n = engine.node_count();
+  if (n < 2) return 1.0;
+  RunningStats stats;
+  for (std::size_t i = 0; i < pair_count; ++i) {
+    const auto a = static_cast<sim::NodeId>(rng.bounded(n));
+    auto b = static_cast<sim::NodeId>(rng.bounded(n));
+    if (a == b) b = static_cast<sim::NodeId>((b + 1) % n);
+    const auto& ta =
+        engine.protocol_at<core::GossipLearningProtocol>(learning_slot, a)
+            .tables();
+    const auto& tb =
+        engine.protocol_at<core::GossipLearningProtocol>(learning_slot, b)
+            .tables();
+    stats.add(core::cosine_similarity(ta, tb));
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+RunResult run_experiment(const ExperimentConfig& config) {
+  GLAP_REQUIRE(config.pm_count > 0 && config.vm_ratio > 0,
+               "experiment needs PMs and VMs");
+  if (config.algorithm == Algorithm::kGlap)
+    GLAP_REQUIRE(config.glap.learning_rounds + config.glap.aggregation_rounds <=
+                     config.warmup_rounds,
+                 "GLAP pre-phases must fit inside warmup_rounds "
+                 "(call fit_glap_phases_to_warmup)");
+
+  // --- Substrate construction (algorithm-independent) -------------------
+  Rng fleet_rng(hash_combine(config.seed, hash_tag("fleet")));
+  cloud::DataCenter dc(
+      draw_specs(config.fleet.pm_classes, config.datacenter.pm_spec,
+                 config.pm_count, fleet_rng.split("pm")),
+      draw_specs(config.fleet.vm_classes, config.datacenter.vm_spec,
+                 config.vm_count(), fleet_rng.split("vm")),
+      config.datacenter);
+
+  const trace::GoogleSynth synth(config.workload, config.seed);
+  std::vector<trace::DemandModelPtr> models;
+  models.reserve(config.vm_count());
+  for (std::size_t v = 0; v < config.vm_count(); ++v)
+    models.push_back(synth.make_model(v));
+
+  Rng placement_rng(hash_combine(config.seed, hash_tag("placement")));
+  dc.place_randomly(placement_rng);
+
+  sim::Engine engine(config.pm_count, config.seed);
+
+  std::optional<cloud::RackTopology> topology;
+  if (config.rack_size > 0)
+    topology.emplace(config.pm_count, config.rack_size,
+                     config.rack_switch_watts);
+
+  // --- Protocol stack ----------------------------------------------------
+  auto install_overlay = [&] {
+    return config.overlay == OverlayKind::kNewscast
+               ? overlay::NewscastProtocol::install(engine, config.newscast,
+                                                    config.seed)
+               : overlay::CyclonProtocol::install(engine, config.cyclon,
+                                                  config.seed);
+  };
+  std::optional<core::GlapSlots> glap_slots;
+  switch (config.algorithm) {
+    case Algorithm::kGlap:
+      glap_slots = core::install_glap_on(engine, dc, config.glap,
+                                         install_overlay(), config.seed,
+                                         topology ? &*topology : nullptr);
+      break;
+    case Algorithm::kGrmp: {
+      baselines::GrmpProtocol::install(engine, config.grmp, dc,
+                                       install_overlay());
+      break;
+    }
+    case Algorithm::kEcoCloud:
+      baselines::EcoCloudProtocol::install(engine, config.ecocloud, dc,
+                                           config.seed);
+      break;
+    case Algorithm::kPabfd:
+      baselines::PabfdManager::install(engine, config.pabfd, dc);
+      break;
+    case Algorithm::kNone:
+      break;
+  }
+
+  // GLAP's consolidation waits for learning to go idle; every baseline
+  // must equally sit out the warmup so all algorithms start consolidating
+  // at the same instant. Baseline warmup idling is enforced here by
+  // simply not stepping their protocols during warmup (see below).
+  const bool baseline_idles_in_warmup =
+      config.algorithm != Algorithm::kGlap;
+
+  RunResult result;
+  Rng convergence_rng(hash_combine(config.seed, hash_tag("convergence")));
+
+  std::vector<Resources> demands(config.vm_count());
+  auto advance_demands = [&] {
+    for (std::size_t v = 0; v < demands.size(); ++v)
+      demands[v] = models[v]->next().clamped(0.0, 1.0);
+    dc.observe_demands(demands);
+  };
+
+  // --- Churn machinery -----------------------------------------------------
+  // The event stream (who departs/arrives when) is a pure function of the
+  // seed — identical for every algorithm. Arrival *placement* necessarily
+  // depends on cluster state, so it draws from a separate stream to keep
+  // the event stream aligned across algorithms.
+  Rng churn_rng(hash_combine(config.seed, hash_tag("churn")));
+  Rng churn_place_rng(hash_combine(config.seed, hash_tag("churn-place")));
+  auto place_arrival = [&](cloud::VmId vm) -> bool {
+    // Admission by nominal allocations among powered-on PMs; wake one
+    // sleeping PM when nothing fits.
+    auto allocated_of = [&](cloud::PmId p) {
+      Resources sum;
+      for (cloud::VmId hosted : dc.pm(p).vms())
+        sum += dc.vm(hosted).spec().capacity();
+      return sum;
+    };
+    auto fits = [&](cloud::PmId p) {
+      return (allocated_of(p) + dc.vm(vm).spec().capacity())
+          .fits_within(dc.pm(p).spec().capacity());
+    };
+    for (std::size_t attempt = 0; attempt < dc.pm_count(); ++attempt) {
+      const auto p =
+          static_cast<cloud::PmId>(churn_place_rng.bounded(dc.pm_count()));
+      if (!dc.pm(p).is_on() || !fits(p)) continue;
+      dc.place(vm, p);
+      return true;
+    }
+    for (cloud::PmId p = 0; p < dc.pm_count(); ++p) {
+      if (!dc.pm(p).is_on() && dc.pm(p).empty()) {
+        dc.set_power(p, cloud::PmPower::kOn);
+        engine.set_status(static_cast<sim::NodeId>(p),
+                          sim::NodeStatus::kActive);
+        dc.place(vm, p);
+        return true;
+      }
+      if (dc.pm(p).is_on() && fits(p)) {
+        dc.place(vm, p);
+        return true;
+      }
+    }
+    return false;  // full cluster: the arrival is refused this round
+  };
+
+  std::uint64_t churn_events_since_relearn = 0;
+  sim::Round rounds_since_relearn = 0;
+  auto churn_step = [&] {
+    if (!config.churn.enabled) return;
+    for (cloud::VmId v = 0; v < dc.vm_count(); ++v) {
+      if (dc.is_placed(v)) {
+        if (churn_rng.bernoulli(config.churn.departure_prob)) {
+          dc.depart(v);
+          ++churn_events_since_relearn;
+        }
+      } else if (churn_rng.bernoulli(config.churn.arrival_prob)) {
+        if (place_arrival(v)) ++churn_events_since_relearn;
+      }
+    }
+  };
+
+  auto maybe_relearn = [&] {
+    if (!config.churn.enabled || !config.churn.glap_relearn || !glap_slots)
+      return;
+    ++rounds_since_relearn;
+    if (rounds_since_relearn < config.churn.relearn_min_interval) return;
+    const double rate =
+        static_cast<double>(churn_events_since_relearn) /
+        (static_cast<double>(dc.vm_count()) * rounds_since_relearn);
+    if (rate < config.churn.relearn_rate_threshold) return;
+    for (sim::NodeId n = 0; n < engine.node_count(); ++n)
+      engine.protocol_at<core::GossipLearningProtocol>(glap_slots->learning, n)
+          .retrigger(config.churn.relearn_learning_rounds,
+                     config.churn.relearn_aggregation_rounds);
+    ++result.relearn_triggers;
+    churn_events_since_relearn = 0;
+    rounds_since_relearn = 0;
+  };
+
+  // Initial partial placement: depart a deterministic random subset.
+  if (config.churn.enabled && config.churn.initial_placed_fraction < 1.0) {
+    for (cloud::VmId v = 0; v < dc.vm_count(); ++v)
+      if (!churn_rng.bernoulli(config.churn.initial_placed_fraction))
+        dc.depart(v);
+  }
+
+  // --- Warmup ------------------------------------------------------------
+  for (sim::Round r = 0; r < config.warmup_rounds; ++r) {
+    advance_demands();
+    if (!baseline_idles_in_warmup) {
+      engine.step();
+      if (config.track_convergence && glap_slots)
+        result.convergence.push_back(
+            sample_convergence(engine, glap_slots->learning,
+                               config.convergence_pairs, convergence_rng));
+    }
+    // Note: no dc.end_round() — warmup time does not count toward SLA,
+    // energy, or migration metrics; demand averages still accumulate.
+  }
+
+  // --- Evaluation window ---------------------------------------------------
+  const std::uint64_t warmup_messages = engine.network().messages();
+  const std::uint64_t warmup_bytes = engine.network().bytes();
+
+  for (sim::Round r = 0; r < config.rounds; ++r) {
+    advance_demands();
+    churn_step();
+    maybe_relearn();
+    engine.step();
+
+    RoundSample sample;
+    sample.round = r;
+    sample.active_pms = static_cast<std::uint32_t>(dc.active_pm_count());
+    sample.overloaded_pms =
+        static_cast<std::uint32_t>(dc.overloaded_pm_count());
+    sample.migrations_round =
+        static_cast<std::uint32_t>(dc.migrations_this_round());
+    sample.migrations_cum = dc.total_migrations();
+    sample.migration_energy_j = dc.migration_energy_joules();
+    if (topology) {
+      sample.active_racks =
+          static_cast<std::uint32_t>(topology->active_racks(dc));
+      result.switch_energy_j +=
+          topology->switch_energy_joules(dc, config.datacenter.round_seconds);
+    }
+    result.rounds.push_back(sample);
+
+    dc.end_round();
+  }
+
+  // --- Final validity check ------------------------------------------------
+  // No protocol may leave a VM on a sleeping PM; migrations and power
+  // transitions go through DataCenter, but this guards protocol logic
+  // errors (e.g. sleeping a PM another thread of control just filled).
+  for (cloud::VmId v = 0; v < dc.vm_count(); ++v)
+    if (dc.is_placed(v))
+      GLAP_ASSERT(dc.pm(dc.host_of(v)).is_on(),
+                  "vm stranded on a sleeping pm after the run");
+
+  // --- Run-level aggregates ------------------------------------------------
+  result.total_migrations = dc.total_migrations();
+  result.migration_energy_j = dc.migration_energy_joules();
+  result.total_energy_j = dc.total_energy_joules();
+  result.slavo = dc.sla().slavo();
+  result.slalm = dc.sla().slalm();
+  result.slav = dc.sla().slav();
+  result.messages = engine.network().messages() - warmup_messages;
+  result.bytes = engine.network().bytes() - warmup_bytes;
+  result.final_active_pms = static_cast<std::uint32_t>(dc.active_pm_count());
+  result.final_overloaded_pms =
+      static_cast<std::uint32_t>(dc.overloaded_pm_count());
+  result.final_bfd_bins =
+      static_cast<std::uint32_t>(baselines::bfd_bin_count(dc));
+  return result;
+}
+
+}  // namespace glap::harness

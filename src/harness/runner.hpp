@@ -1,0 +1,19 @@
+// Experiment runner: builds the substrate (data center, demand streams,
+// overlay, protocols) for one configuration, drives warmup + evaluation
+// rounds, and samples the metrics the paper reports.
+//
+// Fairness guarantees (paper §V-A): the initial placement and every VM's
+// demand stream depend only on (seed, pm_count, vm_ratio) — never on the
+// algorithm — so all algorithms replay identical workloads from identical
+// starting states.
+#pragma once
+
+#include "harness/experiment.hpp"
+#include "harness/metrics.hpp"
+
+namespace glap::harness {
+
+/// Runs one experiment to completion. Deterministic in config.seed.
+[[nodiscard]] RunResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace glap::harness

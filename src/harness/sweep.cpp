@@ -1,0 +1,69 @@
+#include "harness/sweep.hpp"
+
+#include <mutex>
+
+namespace glap::harness {
+
+PercentileSummary CellResult::pooled_round_summary(
+    const std::function<std::vector<double>(const RunResult&)>& series)
+    const {
+  std::vector<double> pooled;
+  for (const auto& run : runs) {
+    auto s = series(run);
+    pooled.insert(pooled.end(), s.begin(), s.end());
+  }
+  return summarize(std::move(pooled));
+}
+
+double CellResult::mean_of(
+    const std::function<double(const RunResult&)>& metric) const {
+  RunningStats stats;
+  for (const auto& run : runs) stats.add(metric(run));
+  return stats.mean();
+}
+
+CellResult run_cell(const ExperimentConfig& base, std::size_t repetitions,
+                    ThreadPool& pool) {
+  GLAP_REQUIRE(repetitions > 0, "need at least one repetition");
+  CellResult cell;
+  cell.config = base;
+  cell.runs.resize(repetitions);
+  parallel_for(pool, repetitions, [&](std::size_t rep) {
+    ExperimentConfig config = base;
+    config.seed = base.seed + rep;
+    cell.runs[rep] = run_experiment(config);
+  });
+  return cell;
+}
+
+std::vector<CellResult> run_cells(const std::vector<ExperimentConfig>& cells,
+                                  std::size_t repetitions, ThreadPool& pool) {
+  GLAP_REQUIRE(repetitions > 0, "need at least one repetition");
+  std::vector<CellResult> results(cells.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(cells.size() * repetitions);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    results[c].config = cells[c];
+    results[c].runs.resize(repetitions);
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+      futures.push_back(pool.submit([&, c, rep] {
+        try {
+          ExperimentConfig config = cells[c];
+          config.seed = cells[c].seed + rep;
+          results[c].runs[rep] = run_experiment(config);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }));
+    }
+  }
+  for (auto& f : futures) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace glap::harness

@@ -1,0 +1,197 @@
+#include "overlay/cyclon.hpp"
+
+#include <algorithm>
+
+namespace glap::overlay {
+
+namespace {
+constexpr std::size_t kEntryBytes = 8;  // (id, age) on the wire
+}
+
+CyclonProtocol::CyclonProtocol(CyclonConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  GLAP_REQUIRE(config_.cache_size > 0, "cyclon cache_size must be positive");
+  GLAP_REQUIRE(config_.shuffle_length > 0 &&
+                   config_.shuffle_length <= config_.cache_size,
+               "cyclon shuffle_length must be in [1, cache_size]");
+  cache_.reserve(config_.cache_size);
+}
+
+struct CyclonInstaller {
+  static void set_slot(CyclonProtocol& p, sim::Engine::ProtocolSlot slot) {
+    p.slot_ = slot;
+    p.slot_known_ = true;
+  }
+};
+
+sim::Engine::ProtocolSlot CyclonProtocol::install(sim::Engine& engine,
+                                                  const CyclonConfig& config,
+                                                  std::uint64_t seed) {
+  const std::size_t n = engine.node_count();
+  Rng master(hash_combine(seed, hash_tag("cyclon")));
+  std::vector<std::unique_ptr<sim::Protocol>> instances;
+  instances.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    instances.push_back(
+        std::make_unique<CyclonProtocol>(config, master.split(i)));
+
+  // Bootstrap each cache with random distinct peers (ring + random links
+  // guarantees initial connectivity even for tiny caches).
+  Rng boot(hash_combine(seed, hash_tag("cyclon-bootstrap")));
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& proto = static_cast<CyclonProtocol&>(*instances[i]);
+    std::vector<sim::NodeId> neighbors;
+    if (n > 1) {
+      neighbors.push_back(static_cast<sim::NodeId>((i + 1) % n));
+      while (neighbors.size() < std::min(config.cache_size, n - 1)) {
+        auto candidate = static_cast<sim::NodeId>(boot.bounded(n));
+        if (candidate == i) continue;
+        if (std::find(neighbors.begin(), neighbors.end(), candidate) !=
+            neighbors.end())
+          continue;
+        neighbors.push_back(candidate);
+      }
+    }
+    proto.bootstrap(static_cast<sim::NodeId>(i), neighbors);
+  }
+
+  const auto slot = engine.add_protocol_slot(std::move(instances));
+  for (std::size_t i = 0; i < n; ++i)
+    CyclonInstaller::set_slot(engine.protocol_at<CyclonProtocol>(
+                                  slot, static_cast<sim::NodeId>(i)),
+                              slot);
+  return slot;
+}
+
+void CyclonProtocol::bootstrap(sim::NodeId self,
+                               const std::vector<sim::NodeId>& neighbors) {
+  for (sim::NodeId id : neighbors) {
+    if (id == self) continue;
+    if (cache_.size() >= config_.cache_size) break;
+    const bool dup = std::any_of(cache_.begin(), cache_.end(),
+                                 [&](const Entry& e) { return e.id == id; });
+    if (!dup) cache_.push_back({id, 0});
+  }
+}
+
+std::optional<std::size_t> CyclonProtocol::oldest_entry_index() const {
+  if (cache_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < cache_.size(); ++i)
+    if (cache_[i].age > cache_[best].age) best = i;
+  return best;
+}
+
+void CyclonProtocol::remove_neighbor(sim::NodeId peer) {
+  std::erase_if(cache_, [&](const Entry& e) { return e.id == peer; });
+}
+
+std::vector<CyclonProtocol::Entry> CyclonProtocol::take_random_subset(
+    std::size_t count, std::optional<std::size_t> forced) {
+  // Selects up to `count` random entries (always including `forced` when
+  // given) and removes them from the cache; merge() re-inserts survivors.
+  std::vector<Entry> subset;
+  if (cache_.empty() || count == 0) return subset;
+  std::vector<std::size_t> indices(cache_.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng_.shuffle(indices);
+  if (forced) {
+    auto it = std::find(indices.begin(), indices.end(), *forced);
+    GLAP_DEBUG_ASSERT(it != indices.end(), "forced index missing");
+    std::iter_swap(indices.begin(), it);
+  }
+  const std::size_t take = std::min(count, indices.size());
+  std::vector<std::size_t> chosen(indices.begin(), indices.begin() + take);
+  std::sort(chosen.begin(), chosen.end(), std::greater<>());
+  subset.reserve(take);
+  for (std::size_t idx : chosen) {
+    subset.push_back(cache_[idx]);
+    cache_.erase(cache_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return subset;
+}
+
+void CyclonProtocol::merge(sim::NodeId self, const std::vector<Entry>& received,
+                           const std::vector<Entry>& sent) {
+  // Standard Cyclon merge: drop self-pointers and entries already present,
+  // use empty cache slots first, then fall back to the slots freed by the
+  // entries we shipped out (which take_random_subset already removed).
+  for (const Entry& entry : received) {
+    if (entry.id == self) continue;
+    const bool dup =
+        std::any_of(cache_.begin(), cache_.end(),
+                    [&](const Entry& e) { return e.id == entry.id; });
+    if (dup) continue;
+    if (cache_.size() < config_.cache_size) cache_.push_back(entry);
+  }
+  // Re-insert shipped entries that still fit (they were not replaced).
+  for (const Entry& entry : sent) {
+    if (entry.id == self) continue;
+    if (cache_.size() >= config_.cache_size) break;
+    const bool dup =
+        std::any_of(cache_.begin(), cache_.end(),
+                    [&](const Entry& e) { return e.id == entry.id; });
+    if (!dup) cache_.push_back(entry);
+  }
+}
+
+std::vector<CyclonProtocol::Entry> CyclonProtocol::handle_shuffle(
+    sim::NodeId self, sim::NodeId initiator,
+    const std::vector<Entry>& received) {
+  auto reply = take_random_subset(config_.shuffle_length, std::nullopt);
+  // The passive node may keep a fresh pointer back to the initiator.
+  std::vector<Entry> incoming = received;
+  const bool has_initiator =
+      std::any_of(incoming.begin(), incoming.end(),
+                  [&](const Entry& e) { return e.id == initiator; });
+  if (!has_initiator) incoming.push_back({initiator, 0});
+  merge(self, incoming, reply);
+  return reply;
+}
+
+void CyclonProtocol::next_cycle(sim::Engine& engine, sim::NodeId self) {
+  GLAP_ASSERT(slot_known_, "cyclon used before install()");
+  for (auto& entry : cache_) ++entry.age;
+
+  for (std::size_t attempt = 0;
+       attempt <= config_.dead_peer_retries && !cache_.empty(); ++attempt) {
+    const auto oldest = oldest_entry_index();
+    if (!oldest) return;
+    const sim::NodeId peer = cache_[*oldest].id;
+    if (!engine.is_active(peer)) {
+      // Self-healing: a dead oldest neighbor is simply discarded.
+      cache_.erase(cache_.begin() + static_cast<std::ptrdiff_t>(*oldest));
+      continue;
+    }
+    auto sent = take_random_subset(config_.shuffle_length - 1, std::nullopt);
+    std::vector<Entry> outgoing = sent;
+    outgoing.push_back({self, 0});
+    engine.network().count_message(self, peer, outgoing.size() * kEntryBytes);
+    auto& remote = engine.protocol_at<CyclonProtocol>(slot_, peer);
+    const auto reply = remote.handle_shuffle(peer, self, outgoing);
+    engine.network().count_message(peer, self, reply.size() * kEntryBytes);
+    merge(self, reply, sent);
+    return;
+  }
+}
+
+std::optional<sim::NodeId> CyclonProtocol::sample_active_peer(
+    sim::Engine& engine, sim::NodeId /*self*/) {
+  // Try random entries, pruning dead ones as we go.
+  while (!cache_.empty()) {
+    const std::size_t idx = rng_.pick_index(cache_);
+    const sim::NodeId peer = cache_[idx].id;
+    if (engine.is_active(peer)) return peer;
+    cache_.erase(cache_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return std::nullopt;
+}
+
+std::vector<sim::NodeId> CyclonProtocol::neighbor_view() const {
+  std::vector<sim::NodeId> ids;
+  ids.reserve(cache_.size());
+  for (const auto& e : cache_) ids.push_back(e.id);
+  return ids;
+}
+
+}  // namespace glap::overlay

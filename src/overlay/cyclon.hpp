@@ -1,0 +1,84 @@
+// Cyclon: inexpensive membership management for unstructured P2P overlays
+// (Voulgaris, Gavidia, van Steen — JNSM 2005). This is the membership
+// layer GLAP runs on (paper Fig. 2).
+//
+// Each node keeps a small cache of (neighbor, age) entries. Once per round
+// it ages all entries, contacts its *oldest* neighbor, and the two swap
+// random subsets of size ℓ (the initiator replaces its own entry, age 0,
+// into the sent subset). The resulting overlay approximates a random graph
+// with strong connectivity and an in-degree distribution concentrated
+// around the cache size — properties the overlay tests verify.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "overlay/neighbor_provider.hpp"
+
+namespace glap::overlay {
+
+struct CyclonConfig {
+  std::size_t cache_size = 20;      ///< c: neighbor cache capacity
+  std::size_t shuffle_length = 8;   ///< ℓ: entries exchanged per shuffle
+  /// Retries when the chosen shuffle partner turns out to be dead; each
+  /// failure removes the dead entry (Cyclon's self-healing behaviour).
+  std::size_t dead_peer_retries = 3;
+};
+
+class CyclonProtocol final : public NeighborProvider {
+ public:
+  struct Entry {
+    sim::NodeId id;
+    std::uint32_t age;
+  };
+
+  CyclonProtocol(CyclonConfig config, Rng rng);
+
+  /// Installs a Cyclon instance on every node of the engine, bootstrapped
+  /// with `config.cache_size` random neighbors each, and returns the slot.
+  static sim::Engine::ProtocolSlot install(sim::Engine& engine,
+                                           const CyclonConfig& config,
+                                           std::uint64_t seed);
+
+  void next_cycle(sim::Engine& engine, sim::NodeId self) override;
+
+  std::optional<sim::NodeId> sample_active_peer(sim::Engine& engine,
+                                                sim::NodeId self) override;
+
+  [[nodiscard]] std::vector<sim::NodeId> neighbor_view() const override;
+
+  /// Passive side of a shuffle: merges the initiator's subset and returns
+  /// a random subset of (up to) shuffle_length local entries.
+  std::vector<Entry> handle_shuffle(sim::NodeId self, sim::NodeId initiator,
+                                    const std::vector<Entry>& received);
+
+  /// Seeds the cache (bootstrap); ignores self-links and duplicates.
+  void bootstrap(sim::NodeId self, const std::vector<sim::NodeId>& neighbors);
+
+  [[nodiscard]] const std::vector<Entry>& cache() const noexcept {
+    return cache_;
+  }
+  [[nodiscard]] const CyclonConfig& config() const noexcept { return config_; }
+
+  /// Removes every cache entry pointing at `peer` (dead-link pruning).
+  void remove_neighbor(sim::NodeId peer);
+
+ private:
+  void merge(sim::NodeId self, const std::vector<Entry>& received,
+             const std::vector<Entry>& sent);
+  [[nodiscard]] std::optional<std::size_t> oldest_entry_index() const;
+  std::vector<Entry> take_random_subset(std::size_t count,
+                                        std::optional<std::size_t> forced);
+
+  CyclonConfig config_;
+  Rng rng_;
+  std::vector<Entry> cache_;
+  sim::Engine::ProtocolSlot slot_ = 0;
+  bool slot_known_ = false;
+
+  friend struct CyclonInstaller;
+};
+
+}  // namespace glap::overlay

@@ -1,0 +1,88 @@
+#include "qlearn/levels.hpp"
+
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace glap::qlearn {
+
+Level level_of(double utilization) noexcept {
+  if (utilization <= 0.2) return Level::kLow;
+  if (utilization <= 0.4) return Level::kMedium;
+  if (utilization <= 0.5) return Level::kHigh;
+  if (utilization <= 0.6) return Level::kXHigh;
+  if (utilization <= 0.7) return Level::k2xHigh;
+  if (utilization <= 0.8) return Level::k3xHigh;
+  if (utilization <= 0.9) return Level::k4xHigh;
+  if (utilization < 1.0) return Level::k5xHigh;
+  return Level::kOverload;
+}
+
+double level_midpoint(Level level) noexcept {
+  switch (level) {
+    case Level::kLow:
+      return 0.1;
+    case Level::kMedium:
+      return 0.3;
+    case Level::kHigh:
+      return 0.45;
+    case Level::kXHigh:
+      return 0.55;
+    case Level::k2xHigh:
+      return 0.65;
+    case Level::k3xHigh:
+      return 0.75;
+    case Level::k4xHigh:
+      return 0.85;
+    case Level::k5xHigh:
+      return 0.95;
+    case Level::kOverload:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+std::string_view to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kLow:
+      return "Low";
+    case Level::kMedium:
+      return "Medium";
+    case Level::kHigh:
+      return "High";
+    case Level::kXHigh:
+      return "xHigh";
+    case Level::k2xHigh:
+      return "2xHigh";
+    case Level::k3xHigh:
+      return "3xHigh";
+    case Level::k4xHigh:
+      return "4xHigh";
+    case Level::k5xHigh:
+      return "5xHigh";
+    case Level::kOverload:
+      return "Overload";
+  }
+  return "?";
+}
+
+LevelPair LevelPair::from_index(std::uint16_t index) noexcept {
+  GLAP_DEBUG_ASSERT(index < kLevelPairCount, "level pair index out of range");
+  return {static_cast<Level>(index / kLevelCount),
+          static_cast<Level>(index % kLevelCount)};
+}
+
+LevelPair classify(double cpu_util, double mem_util) noexcept {
+  return {level_of(cpu_util), level_of(mem_util)};
+}
+
+std::string to_string(LevelPair pair) {
+  std::string out = "(";
+  out += to_string(pair.cpu);
+  out += ", ";
+  out += to_string(pair.mem);
+  out += ")";
+  return out;
+}
+
+}  // namespace glap::qlearn

@@ -1,0 +1,77 @@
+// Calibrated resource-utilization levels (paper §IV-A).
+//
+// GLAP discretizes utilization into nine levels so that states and actions
+// stay finite. The thresholds are exactly the paper's:
+//   Low ≤ 0.2 < Medium ≤ 0.4 < High ≤ 0.5 < xHigh ≤ 0.6 < 2xHigh ≤ 0.7 <
+//   3xHigh ≤ 0.8 < 4xHigh ≤ 0.9 < 5xHigh < 1.0 = Overload.
+// Utilizations above 1 (an oversubscribed PM) are Overload as well.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace glap::qlearn {
+
+enum class Level : std::uint8_t {
+  kLow = 0,
+  kMedium,
+  kHigh,
+  kXHigh,
+  k2xHigh,
+  k3xHigh,
+  k4xHigh,
+  k5xHigh,
+  kOverload,
+};
+
+inline constexpr std::size_t kLevelCount = 9;
+
+/// Maps a utilization value to its calibrated level.
+[[nodiscard]] Level level_of(double utilization) noexcept;
+
+/// Representative (midpoint) utilization of a level; Overload maps to 1.
+[[nodiscard]] double level_midpoint(Level level) noexcept;
+
+[[nodiscard]] std::string_view to_string(Level level) noexcept;
+
+[[nodiscard]] constexpr std::uint8_t level_index(Level level) noexcept {
+  return static_cast<std::uint8_t>(level);
+}
+
+/// Per-(CPU, memory) level pair; serves as both PM state and VM action
+/// (paper: an action is "migration of a VM in a certain state").
+struct LevelPair {
+  Level cpu = Level::kLow;
+  Level mem = Level::kLow;
+
+  friend constexpr bool operator==(LevelPair a, LevelPair b) noexcept {
+    return a.cpu == b.cpu && a.mem == b.mem;
+  }
+
+  /// Dense index in [0, 81).
+  [[nodiscard]] constexpr std::uint16_t index() const noexcept {
+    return static_cast<std::uint16_t>(level_index(cpu) * kLevelCount +
+                                      level_index(mem));
+  }
+
+  [[nodiscard]] static LevelPair from_index(std::uint16_t index) noexcept;
+
+  /// True when any resource is at the Overload level.
+  [[nodiscard]] constexpr bool any_overload() const noexcept {
+    return cpu == Level::kOverload || mem == Level::kOverload;
+  }
+};
+
+inline constexpr std::size_t kLevelPairCount = kLevelCount * kLevelCount;
+
+/// Classifies a (cpu, mem) utilization vector.
+[[nodiscard]] LevelPair classify(double cpu_util, double mem_util) noexcept;
+
+/// Renders e.g. "(3xHigh, Medium)".
+[[nodiscard]] std::string to_string(LevelPair pair);
+
+using State = LevelPair;
+using Action = LevelPair;
+
+}  // namespace glap::qlearn

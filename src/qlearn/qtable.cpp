@@ -1,0 +1,90 @@
+#include "qlearn/qtable.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace glap::qlearn {
+
+double QTable::value(State s, Action a) const {
+  const auto it = values_.find(key_of(s, a));
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+bool QTable::contains(State s, Action a) const {
+  return values_.contains(key_of(s, a));
+}
+
+void QTable::set(State s, Action a, double q) { values_[key_of(s, a)] = q; }
+
+void QTable::update(State s, Action a, double reward, State next,
+                    const QLearningParams& params) {
+  GLAP_DEBUG_ASSERT(params.alpha >= 0.0 && params.alpha <= 1.0,
+                    "alpha out of [0,1]");
+  GLAP_DEBUG_ASSERT(params.gamma >= 0.0 && params.gamma <= 1.0,
+                    "gamma out of [0,1]");
+  const double old_q = value(s, a);
+  const double target = reward + params.gamma * max_value(next);
+  values_[key_of(s, a)] = (1.0 - params.alpha) * old_q + params.alpha * target;
+}
+
+double QTable::max_value(State s) const {
+  // The state's action row spans a contiguous key block.
+  const Key base = static_cast<Key>(s.index()) * kLevelPairCount;
+  double best = 0.0;
+  bool found = false;
+  for (std::uint16_t a = 0; a < kLevelPairCount; ++a) {
+    const auto it = values_.find(base + a);
+    if (it == values_.end()) continue;
+    if (!found || it->second > best) best = it->second;
+    found = true;
+  }
+  return found ? best : 0.0;
+}
+
+std::optional<Action> QTable::best_action(
+    State s, const std::vector<Action>& available) const {
+  std::optional<Action> best;
+  double best_q = 0.0;
+  for (const Action& a : available) {
+    const double q = value(s, a);
+    if (!best || q > best_q) {
+      best = a;
+      best_q = q;
+    }
+  }
+  return best;
+}
+
+void QTable::merge_average(const QTable& other) {
+  for (const auto& [key, q_other] : other.values_) {
+    auto it = values_.find(key);
+    if (it == values_.end())
+      values_.emplace(key, q_other);
+    else
+      it->second = 0.5 * (it->second + q_other);
+  }
+}
+
+std::vector<double> QTable::dense() const {
+  std::vector<double> out(kLevelPairCount * kLevelPairCount, 0.0);
+  for (const auto& [key, q] : values_) out[key] = q;
+  return out;
+}
+
+double cosine_similarity(const QTable& a, const QTable& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [key, qa] : a.entries()) {
+    na += qa * qa;
+    const auto it = b.entries().find(key);
+    if (it != b.entries().end()) dot += qa * it->second;
+  }
+  for (const auto& [key, qb] : b.entries()) nb += qb * qb;
+  if (na == 0.0 && nb == 0.0) return 1.0;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace glap::qlearn

@@ -1,0 +1,88 @@
+// Sparse Q-table over (PM-state, VM-action) pairs.
+//
+// Stores only visited pairs (the gossip aggregation phase unions sparse
+// maps, so sparsity is semantically meaningful: "no entry" means "this PM
+// never observed that pair", not "value zero"). Provides the Bellman
+// update from the paper's formula (1), greedy lookups restricted to an
+// available-action set, the pairwise merge of Algorithm 2, and the cosine
+// similarity used by the Fig. 5 convergence experiment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "qlearn/levels.hpp"
+
+namespace glap::qlearn {
+
+struct QLearningParams {
+  double alpha = 0.5;  ///< learning rate
+  double gamma = 0.8;  ///< discount factor
+};
+
+class QTable {
+ public:
+  using Key = std::uint32_t;
+
+  [[nodiscard]] static constexpr Key key_of(State s, Action a) noexcept {
+    return static_cast<Key>(s.index()) * kLevelPairCount + a.index();
+  }
+  [[nodiscard]] static State state_of(Key k) noexcept {
+    return State::from_index(static_cast<std::uint16_t>(k / kLevelPairCount));
+  }
+  [[nodiscard]] static Action action_of(Key k) noexcept {
+    return Action::from_index(static_cast<std::uint16_t>(k % kLevelPairCount));
+  }
+
+  /// Q(s, a); 0 when the pair has never been visited.
+  [[nodiscard]] double value(State s, Action a) const;
+
+  /// Whether the pair has an entry.
+  [[nodiscard]] bool contains(State s, Action a) const;
+
+  void set(State s, Action a, double q);
+
+  /// Bellman update (paper formula (1)):
+  ///   Q(s,a) ← (1−α)·Q(s,a) + α·(R + γ·max_{a'} Q(s',a')).
+  /// The max ranges over actions already known for s' (0 when none).
+  void update(State s, Action a, double reward, State next,
+              const QLearningParams& params);
+
+  /// max_a Q(s, a) over known actions (0 when s has no entries).
+  [[nodiscard]] double max_value(State s) const;
+
+  /// Greedy action restricted to `available` (π_out): the available action
+  /// with the greatest Q(s, ·). Unknown pairs count as Q = 0. Returns
+  /// nullopt when `available` is empty. Ties break toward the first
+  /// occurrence in `available`.
+  [[nodiscard]] std::optional<Action> best_action(
+      State s, const std::vector<Action>& available) const;
+
+  /// Algorithm 2's UPDATE: average values present in both tables, adopt
+  /// entries present in exactly one.
+  void merge_average(const QTable& other);
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  void clear() noexcept { values_.clear(); }
+
+  /// Iteration support for serialization/analysis.
+  [[nodiscard]] const std::unordered_map<Key, double>& entries()
+      const noexcept {
+    return values_;
+  }
+
+  /// Dense 6561-dim snapshot (unvisited pairs are 0).
+  [[nodiscard]] std::vector<double> dense() const;
+
+ private:
+  std::unordered_map<Key, double> values_;
+};
+
+/// Cosine similarity between two sparse tables over the union key space.
+/// Two empty tables are identical (1); one empty table scores 0.
+[[nodiscard]] double cosine_similarity(const QTable& a, const QTable& b);
+
+}  // namespace glap::qlearn

@@ -1,0 +1,57 @@
+#include "qlearn/serialize.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+
+namespace glap::qlearn {
+
+Level level_from_string(std::string_view name) {
+  for (std::size_t i = 0; i < kLevelCount; ++i) {
+    const auto level = static_cast<Level>(i);
+    if (to_string(level) == name) return level;
+  }
+  GLAP_REQUIRE(false, "unknown level name: " + std::string(name));
+  return Level::kLow;  // unreachable
+}
+
+void save_qtable(const QTable& table, std::ostream& out) {
+  CsvWriter writer(out);
+  writer.write_row({"state_cpu", "state_mem", "action_cpu", "action_mem",
+                    "q"});
+  std::vector<QTable::Key> keys;
+  keys.reserve(table.size());
+  for (const auto& [key, q] : table.entries()) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const QTable::Key key : keys) {
+    const State s = QTable::state_of(key);
+    const Action a = QTable::action_of(key);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g",
+                  table.value(s, a));
+    writer.write_row({std::string(to_string(s.cpu)),
+                      std::string(to_string(s.mem)),
+                      std::string(to_string(a.cpu)),
+                      std::string(to_string(a.mem)), buf});
+  }
+}
+
+QTable load_qtable(std::istream& in) {
+  const CsvTable csv = read_csv(in, /*has_header=*/true);
+  GLAP_REQUIRE(csv.column("state_cpu") == 0 && csv.column("q") == 4,
+               "unexpected q-table CSV header");
+  QTable table;
+  for (const auto& row : csv.rows) {
+    GLAP_REQUIRE(row.size() == 5, "q-table row must have 5 fields");
+    const State s{level_from_string(row[0]), level_from_string(row[1])};
+    const Action a{level_from_string(row[2]), level_from_string(row[3])};
+    table.set(s, a, std::stod(row[4]));
+  }
+  return table;
+}
+
+}  // namespace glap::qlearn

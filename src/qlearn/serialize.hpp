@@ -1,0 +1,26 @@
+// Q-table (de)serialization.
+//
+// A learned policy is valuable across runs: operators train once (or
+// periodically) and ship the unified tables to new PMs joining the
+// cluster. The format is a small CSV dialect —
+//   state_cpu,state_mem,action_cpu,action_mem,q
+// with level names (Low … Overload) for human inspection and diffing.
+#pragma once
+
+#include <iosfwd>
+
+#include "qlearn/qtable.hpp"
+
+namespace glap::qlearn {
+
+/// Writes every entry of `table`, sorted by key for stable diffs.
+void save_qtable(const QTable& table, std::ostream& out);
+
+/// Parses the format written by save_qtable. Throws
+/// glap::precondition_error on malformed rows or unknown level names.
+[[nodiscard]] QTable load_qtable(std::istream& in);
+
+/// Parses a level name ("Low", "Medium", …, "Overload").
+[[nodiscard]] Level level_from_string(std::string_view name);
+
+}  // namespace glap::qlearn

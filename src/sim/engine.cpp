@@ -1,0 +1,72 @@
+#include "sim/engine.hpp"
+
+#include <numeric>
+
+namespace glap::sim {
+
+Engine::Engine(std::size_t node_count, std::uint64_t seed)
+    : status_(node_count, NodeStatus::kActive),
+      active_count_(node_count),
+      order_(node_count),
+      rng_(hash_combine(seed, hash_tag("engine"))) {
+  GLAP_REQUIRE(node_count > 0, "engine needs at least one node");
+  GLAP_REQUIRE(node_count < static_cast<std::size_t>(kInvalidNode),
+               "too many nodes");
+  std::iota(order_.begin(), order_.end(), NodeId{0});
+}
+
+Engine::ProtocolSlot Engine::add_protocol_slot(
+    std::vector<std::unique_ptr<Protocol>> instances) {
+  GLAP_REQUIRE(instances.size() == status_.size(),
+               "need exactly one protocol instance per node");
+  for (const auto& p : instances)
+    GLAP_REQUIRE(p != nullptr, "null protocol instance");
+  slots_.push_back(std::move(instances));
+  return slots_.size() - 1;
+}
+
+void Engine::add_observer(Observer* observer) {
+  GLAP_REQUIRE(observer != nullptr, "null observer");
+  observers_.push_back(observer);
+}
+
+void Engine::set_status(NodeId node, NodeStatus status) {
+  GLAP_REQUIRE(node < status_.size(), "node id out of range");
+  const NodeStatus old = status_[node];
+  if (old == status) return;
+  GLAP_REQUIRE(old != NodeStatus::kFailed, "failed nodes cannot transition");
+  status_[node] = status;
+  if (old == NodeStatus::kActive) --active_count_;
+  if (status == NodeStatus::kActive) ++active_count_;
+  for (auto& slot : slots_)
+    slot[node]->on_status_change(*this, node, status);
+}
+
+void Engine::step() {
+  rng_.shuffle(order_);
+  for (NodeId node : order_) {
+    if (status_[node] != NodeStatus::kActive) continue;
+    for (auto& slot : slots_) {
+      // A protocol earlier in the stack may have put this node to sleep
+      // (e.g. consolidation switched the PM off mid-round).
+      if (status_[node] != NodeStatus::kActive) break;
+      slot[node]->next_cycle(*this, node);
+    }
+  }
+  ++round_;
+  for (Observer* obs : observers_) {
+    if (!obs->on_round_end(*this, round_)) stop_requested_ = true;
+  }
+}
+
+Round Engine::run(Round rounds) {
+  stop_requested_ = false;
+  Round executed = 0;
+  while (executed < rounds && !stop_requested_) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace glap::sim

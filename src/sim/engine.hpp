@@ -1,0 +1,103 @@
+// Cycle-driven P2P simulation engine (PeerSim CDSim equivalent).
+//
+// Usage:
+//   Engine engine(n_nodes, seed);
+//   auto slot = engine.add_protocol_slot(make_protocols(...));
+//   engine.add_observer(&metrics);
+//   engine.run(720);
+//
+// Per round the engine shuffles the node order (so no node systematically
+// initiates first), invokes every installed protocol slot on every active
+// node, then runs observers. Node status transitions (sleep for switched-
+// off PMs, wake, fail) are applied immediately and broadcast to the node's
+// protocol instances so overlays can drop dead links.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "sim/network_stats.hpp"
+#include "sim/node.hpp"
+#include "sim/protocol.hpp"
+
+namespace glap::sim {
+
+class Engine {
+ public:
+  using ProtocolSlot = std::size_t;
+
+  Engine(std::size_t node_count, std::uint64_t seed);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Installs one protocol layer: `instances` must hold exactly one
+  /// instance per node (index == NodeId). Returns the slot handle used to
+  /// reach peer instances.
+  ProtocolSlot add_protocol_slot(
+      std::vector<std::unique_ptr<Protocol>> instances);
+
+  /// Registers an observer (not owned). Observers run in add order.
+  void add_observer(Observer* observer);
+
+  /// Runs `rounds` rounds (continuing from the current round counter);
+  /// stops early if an observer requests it. Returns rounds executed.
+  Round run(Round rounds);
+
+  /// Executes a single round.
+  void step();
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return status_.size();
+  }
+  [[nodiscard]] Round current_round() const noexcept { return round_; }
+
+  [[nodiscard]] NodeStatus status(NodeId node) const {
+    GLAP_REQUIRE(node < status_.size(), "node id out of range");
+    return status_[node];
+  }
+  [[nodiscard]] bool is_active(NodeId node) const {
+    return status(node) == NodeStatus::kActive;
+  }
+  [[nodiscard]] std::size_t active_count() const noexcept {
+    return active_count_;
+  }
+
+  /// Changes a node's status and notifies all of its protocol instances.
+  void set_status(NodeId node, NodeStatus status);
+
+  /// Typed access to a protocol instance; T must match the installed type.
+  template <typename T>
+  [[nodiscard]] T& protocol_at(ProtocolSlot slot, NodeId node) {
+    GLAP_REQUIRE(slot < slots_.size(), "protocol slot out of range");
+    GLAP_REQUIRE(node < slots_[slot].size(), "node id out of range");
+    auto* typed = dynamic_cast<T*>(slots_[slot][node].get());
+    GLAP_REQUIRE(typed != nullptr, "protocol type mismatch for slot");
+    return *typed;
+  }
+
+  [[nodiscard]] NetworkStats& network() noexcept { return network_; }
+  [[nodiscard]] const NetworkStats& network() const noexcept {
+    return network_;
+  }
+
+  /// Engine-level RNG: round shuffling and any protocol needing shared
+  /// randomness. Protocols typically hold their own split streams.
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  std::vector<NodeStatus> status_;
+  std::size_t active_count_;
+  std::vector<std::vector<std::unique_ptr<Protocol>>> slots_;
+  std::vector<Observer*> observers_;
+  std::vector<NodeId> order_;
+  NetworkStats network_;
+  Rng rng_;
+  Round round_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace glap::sim

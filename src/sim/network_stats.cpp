@@ -1,0 +1,4 @@
+#include "sim/network_stats.hpp"
+
+// NetworkStats is header-only today; this TU anchors the library target and
+// reserves a home for latency/topology-aware accounting extensions.

@@ -1,0 +1,39 @@
+// Protocol and Observer interfaces for the cycle-driven engine.
+//
+// This mirrors PeerSim's CDSim model: every node owns one instance of each
+// installed protocol; once per round the engine invokes next_cycle on the
+// active nodes' instances in a freshly shuffled order. Protocol instances
+// interact by directly invoking methods on peer instances (fetched through
+// Engine::protocol_at), which models a synchronous request/response within
+// the round — exactly how PeerSim cycle-driven protocols are written.
+#pragma once
+
+#include "sim/node.hpp"
+
+namespace glap::sim {
+
+class Engine;
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// One gossip cycle initiated by `self`. Called only for active nodes.
+  virtual void next_cycle(Engine& engine, NodeId self) = 0;
+
+  /// Invoked when the node's lifecycle status changes (sleep/wake/fail).
+  virtual void on_status_change(Engine& /*engine*/, NodeId /*self*/,
+                                NodeStatus /*status*/) {}
+};
+
+/// Observers run at the end of every round; they sample metrics and may
+/// stop the simulation early by returning false from on_round_end.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  /// Returns false to stop the simulation after this round.
+  virtual bool on_round_end(Engine& engine, Round round) = 0;
+};
+
+}  // namespace glap::sim

@@ -1,0 +1,60 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace glap::trace {
+
+double autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  if (series.size() < 2 || lag >= series.size()) return 0.0;
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(series.size());
+  double var = 0.0;
+  for (double x : series) var += (x - mean) * (x - mean);
+  if (var == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i + lag < series.size(); ++i)
+    cov += (series[i] - mean) * (series[i + lag] - mean);
+  return cov / var;
+}
+
+double burst_fraction(const std::vector<double>& series, double threshold) {
+  if (series.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (double x : series)
+    if (x >= threshold) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(series.size());
+}
+
+double mean_burst_length(const std::vector<double>& series,
+                         double threshold) {
+  std::size_t runs = 0, total = 0, current = 0;
+  for (double x : series) {
+    if (x >= threshold) {
+      ++current;
+    } else if (current > 0) {
+      ++runs;
+      total += current;
+      current = 0;
+    }
+  }
+  if (current > 0) {
+    ++runs;
+    total += current;
+  }
+  return runs ? static_cast<double>(total) / static_cast<double>(runs) : 0.0;
+}
+
+double peak_to_mean(const std::vector<double>& series) {
+  if (series.empty()) return 0.0;
+  double mean = 0.0, peak = series.front();
+  for (double x : series) {
+    mean += x;
+    peak = std::max(peak, x);
+  }
+  mean /= static_cast<double>(series.size());
+  return mean > 0.0 ? peak / mean : 0.0;
+}
+
+}  // namespace glap::trace

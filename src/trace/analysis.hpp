@@ -1,0 +1,30 @@
+// Time-series analysis helpers for workload traces: the statistics used
+// to validate that the synthetic ensemble matches the published
+// properties of the Google traces, and available to users inspecting
+// their own CSV traces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace glap::trace {
+
+/// Lag-k autocorrelation of a series; 0 for degenerate inputs.
+/// Diurnal/bursty workloads show high positive low-lag autocorrelation —
+/// the predictability GLAP's learning exploits.
+[[nodiscard]] double autocorrelation(const std::vector<double>& series,
+                                     std::size_t lag);
+
+/// Fraction of samples at or above `threshold`.
+[[nodiscard]] double burst_fraction(const std::vector<double>& series,
+                                    double threshold);
+
+/// Mean length of maximal runs at/above `threshold` (0 when none) —
+/// the burst-duration statistic that separates spiky from bursty jobs.
+[[nodiscard]] double mean_burst_length(const std::vector<double>& series,
+                                       double threshold);
+
+/// Peak-to-mean ratio (0 for empty or zero-mean series).
+[[nodiscard]] double peak_to_mean(const std::vector<double>& series);
+
+}  // namespace glap::trace

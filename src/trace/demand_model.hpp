@@ -1,0 +1,30 @@
+// Per-VM demand stream interface.
+//
+// A DemandModel yields one (cpu, mem) utilization sample per simulation
+// round, each component expressed as a fraction of the VM's *own nominal
+// allocation* in [0, 1]. Models are deterministic functions of their
+// construction seed, so every consolidation algorithm in an experiment
+// replays the identical stream — the fairness requirement from the paper's
+// evaluation setup.
+#pragma once
+
+#include <memory>
+
+#include "common/resources.hpp"
+
+namespace glap::trace {
+
+class DemandModel {
+ public:
+  virtual ~DemandModel() = default;
+
+  /// Produces the demand for the next round; components are in [0, 1].
+  [[nodiscard]] virtual Resources next() = 0;
+
+  /// The long-run mean this stream fluctuates around (for tests/reports).
+  [[nodiscard]] virtual Resources long_run_mean() const = 0;
+};
+
+using DemandModelPtr = std::unique_ptr<DemandModel>;
+
+}  // namespace glap::trace

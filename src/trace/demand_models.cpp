@@ -1,0 +1,151 @@
+#include "trace/demand_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace glap::trace {
+
+namespace {
+double clamp01(double x) noexcept { return std::clamp(x, 0.0, 1.0); }
+}
+
+// ---------------------------------------------------------------- Stable
+
+StableModel::StableModel(double cpu_base, double mem_base, double jitter,
+                         Rng rng)
+    : rng_(rng),
+      cpu_base_(clamp01(cpu_base)),
+      jitter_(jitter),
+      mem_(clamp01(mem_base), 0.004, rng_) {
+  GLAP_REQUIRE(jitter >= 0.0, "jitter must be non-negative");
+}
+
+Resources StableModel::next() {
+  return {clamp01(cpu_base_ + jitter_ * rng_.normal()), mem_.step(rng_)};
+}
+
+Resources StableModel::long_run_mean() const {
+  return {cpu_base_, mem_.mean()};
+}
+
+// --------------------------------------------------------------- Diurnal
+
+DiurnalModel::DiurnalModel(double cpu_base, double amplitude,
+                           std::uint32_t period_rounds, double phase_fraction,
+                           double mem_base, Rng rng)
+    : rng_(rng),
+      cpu_base_(clamp01(cpu_base)),
+      amplitude_(amplitude),
+      period_(period_rounds),
+      phase_(phase_fraction),
+      jitter_(0.02),
+      mem_(clamp01(mem_base), 0.004, rng_) {
+  GLAP_REQUIRE(period_rounds > 0, "diurnal period must be positive");
+}
+
+Resources DiurnalModel::next() {
+  const double angle = 2.0 * std::numbers::pi *
+                       (static_cast<double>(t_) / period_ + phase_);
+  ++t_;
+  const double wave = amplitude_ * std::sin(angle);
+  return {clamp01(cpu_base_ + wave + jitter_ * rng_.normal()),
+          mem_.step(rng_)};
+}
+
+Resources DiurnalModel::long_run_mean() const {
+  return {cpu_base_, mem_.mean()};
+}
+
+// ----------------------------------------------------------- Random walk
+
+RandomWalkModel::RandomWalkModel(double cpu_base, double sigma,
+                                 double mem_base, Rng rng)
+    : rng_(rng),
+      cpu_(clamp01(cpu_base), 0.08, sigma, clamp01(cpu_base)),
+      mem_(clamp01(mem_base), 0.004, rng_) {}
+
+Resources RandomWalkModel::next() {
+  return {cpu_.step(rng_), mem_.step(rng_)};
+}
+
+Resources RandomWalkModel::long_run_mean() const {
+  return {cpu_.mean(), mem_.mean()};
+}
+
+// ---------------------------------------------------------------- Bursty
+
+BurstyModel::BurstyModel(double low_level, double high_level,
+                         double p_low_to_high, double p_high_to_low,
+                         double mem_base, Rng rng)
+    : rng_(rng),
+      low_level_(clamp01(low_level)),
+      high_level_(clamp01(high_level)),
+      p_up_(p_low_to_high),
+      p_down_(p_high_to_low),
+      cpu_(low_level_, 0.25, 0.02, low_level_),
+      mem_(clamp01(mem_base), 0.005, rng_) {
+  GLAP_REQUIRE(p_low_to_high >= 0.0 && p_low_to_high <= 1.0,
+               "transition probability out of range");
+  GLAP_REQUIRE(p_high_to_low >= 0.0 && p_high_to_low <= 1.0,
+               "transition probability out of range");
+}
+
+Resources BurstyModel::next() {
+  if (high_) {
+    if (rng_.bernoulli(p_down_)) high_ = false;
+  } else {
+    if (rng_.bernoulli(p_up_)) high_ = true;
+  }
+  cpu_.recenter(high_ ? high_level_ : low_level_);
+  return {cpu_.step(rng_), mem_.step(rng_)};
+}
+
+Resources BurstyModel::long_run_mean() const {
+  // Stationary distribution of the two-state chain.
+  const double denom = p_up_ + p_down_;
+  const double frac_high = denom > 0.0 ? p_up_ / denom : 0.0;
+  return {low_level_ + frac_high * (high_level_ - low_level_), mem_.mean()};
+}
+
+// ----------------------------------------------------------------- Spike
+
+SpikeModel::SpikeModel(double base, double spike_level, double spike_prob,
+                       std::uint32_t spike_len, double mem_base, Rng rng)
+    : rng_(rng),
+      base_(clamp01(base)),
+      spike_level_(clamp01(spike_level)),
+      spike_prob_(spike_prob),
+      spike_len_(std::max<std::uint32_t>(1, spike_len)),
+      mem_(clamp01(mem_base), 0.004, rng_) {
+  GLAP_REQUIRE(spike_prob >= 0.0 && spike_prob <= 1.0,
+               "spike probability out of range");
+}
+
+Resources SpikeModel::next() {
+  double cpu;
+  if (remaining_spike_ > 0) {
+    --remaining_spike_;
+    cpu = clamp01(spike_level_ + 0.03 * rng_.normal());
+  } else {
+    if (rng_.bernoulli(spike_prob_)) {
+      remaining_spike_ = spike_len_ - 1;
+      cpu = clamp01(spike_level_ + 0.03 * rng_.normal());
+    } else {
+      cpu = clamp01(base_ + 0.02 * rng_.normal());
+    }
+  }
+  return {cpu, mem_.step(rng_)};
+}
+
+Resources SpikeModel::long_run_mean() const {
+  // Expected fraction of rounds spent in a spike.
+  const double cycle = 1.0 / std::max(spike_prob_, 1e-9) +
+                       static_cast<double>(spike_len_ - 1);
+  const double frac = std::min(1.0, static_cast<double>(spike_len_) / cycle);
+  return {base_ + frac * (spike_level_ - base_), mem_.mean()};
+}
+
+}  // namespace glap::trace

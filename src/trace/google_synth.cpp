@@ -1,0 +1,77 @@
+#include "trace/google_synth.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "trace/demand_models.hpp"
+
+namespace glap::trace {
+
+GoogleSynth::GoogleSynth(GoogleSynthConfig config, std::uint64_t seed)
+    : config_(config), seed_(hash_combine(seed, hash_tag("google-synth"))) {
+  const double total = config.w_stable + config.w_diurnal +
+                       config.w_random_walk + config.w_bursty +
+                       config.w_spike;
+  GLAP_REQUIRE(total > 0.0, "mixture weights must not all be zero");
+  GLAP_REQUIRE(config.cpu_hi > config.cpu_lo && config.mem_hi > config.mem_lo,
+               "level ranges empty");
+  GLAP_REQUIRE(config.rounds_per_day > 0, "rounds_per_day must be positive");
+}
+
+DemandModelPtr GoogleSynth::make_model(std::uint64_t vm_id) const {
+  Rng rng(hash_combine(seed_, vm_id));
+
+  const auto& c = config_;
+  const double total =
+      c.w_stable + c.w_diurnal + c.w_random_walk + c.w_bursty + c.w_spike;
+  const double pick = rng.uniform() * total;
+
+  const double cpu_base =
+      c.cpu_lo + (c.cpu_hi - c.cpu_lo) * rng.beta(c.cpu_beta_a, c.cpu_beta_b);
+  const double mem_base =
+      c.mem_lo + (c.mem_hi - c.mem_lo) * rng.beta(c.mem_beta_a, c.mem_beta_b);
+
+  double acc = c.w_stable;
+  if (pick < acc)
+    return std::make_unique<StableModel>(cpu_base, mem_base,
+                                         /*jitter=*/0.03, rng.split("m"));
+
+  acc += c.w_diurnal;
+  if (pick < acc) {
+    const double amplitude = rng.uniform(0.15, 0.35);
+    // Keep the wave inside [0,1] around the base.
+    const double base = std::clamp(cpu_base, amplitude + 0.02,
+                                   1.0 - amplitude - 0.02);
+    return std::make_unique<DiurnalModel>(base, amplitude, c.rounds_per_day,
+                                          rng.uniform(), mem_base,
+                                          rng.split("m"));
+  }
+
+  acc += c.w_random_walk;
+  if (pick < acc) {
+    const double sigma = rng.uniform(0.03, 0.1);
+    return std::make_unique<RandomWalkModel>(cpu_base, sigma, mem_base,
+                                             rng.split("m"));
+  }
+
+  acc += c.w_bursty;
+  if (pick < acc) {
+    const double low = std::min(cpu_base, 0.35);
+    const double high = rng.uniform(0.7, 1.0);
+    // Expected dwell ~ 1/p rounds: bursts every ~12-50 rounds lasting
+    // ~8-30 rounds (tens of minutes, as in the Google traces).
+    const double p_up = rng.uniform(0.02, 0.08);
+    const double p_down = rng.uniform(0.03, 0.12);
+    return std::make_unique<BurstyModel>(low, high, p_up, p_down, mem_base,
+                                         rng.split("m"));
+  }
+
+  const double base = std::min(cpu_base, 0.3);
+  const double spike_level = rng.uniform(0.8, 1.0);
+  const double spike_prob = rng.uniform(0.01, 0.04);
+  const auto spike_len = static_cast<std::uint32_t>(rng.range(3, 12));
+  return std::make_unique<SpikeModel>(base, spike_level, spike_prob, spike_len,
+                                      mem_base, rng.split("m"));
+}
+
+}  // namespace glap::trace

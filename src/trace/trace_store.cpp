@@ -1,0 +1,105 @@
+#include "trace/trace_store.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+
+namespace glap::trace {
+
+TraceStore::TraceStore(std::size_t vms, std::size_t rounds)
+    : vms_(vms), rounds_(rounds), data_(vms * rounds) {
+  GLAP_REQUIRE(vms > 0 && rounds > 0, "trace store dimensions must be positive");
+}
+
+TraceStore TraceStore::from_models(const std::vector<DemandModel*>& models,
+                                   std::size_t rounds) {
+  GLAP_REQUIRE(!models.empty(), "need at least one model");
+  TraceStore store(models.size(), rounds);
+  for (std::size_t vm = 0; vm < models.size(); ++vm) {
+    GLAP_REQUIRE(models[vm] != nullptr, "null demand model");
+    for (std::size_t r = 0; r < rounds; ++r)
+      store.set(vm, r, models[vm]->next());
+  }
+  return store;
+}
+
+void TraceStore::set(std::size_t vm, std::size_t round, Resources demand) {
+  GLAP_REQUIRE(vm < vms_ && round < rounds_, "trace index out of range");
+  GLAP_REQUIRE(demand.cpu >= 0.0 && demand.cpu <= 1.0 && demand.mem >= 0.0 &&
+                   demand.mem <= 1.0,
+               "trace demand components must be in [0,1]");
+  data_[vm * rounds_ + round] = demand;
+}
+
+Resources TraceStore::at(std::size_t vm, std::size_t round) const {
+  GLAP_REQUIRE(vm < vms_ && round < rounds_, "trace index out of range");
+  return data_[vm * rounds_ + round];
+}
+
+Resources TraceStore::series_mean(std::size_t vm) const {
+  GLAP_REQUIRE(vm < vms_, "vm index out of range");
+  Resources sum;
+  for (std::size_t r = 0; r < rounds_; ++r) sum += at(vm, r);
+  return sum * (1.0 / static_cast<double>(rounds_));
+}
+
+void TraceStore::save_csv(std::ostream& out) const {
+  CsvWriter writer(out);
+  writer.write_row({"vm", "round", "cpu", "mem"});
+  for (std::size_t vm = 0; vm < vms_; ++vm)
+    for (std::size_t r = 0; r < rounds_; ++r) {
+      const Resources d = at(vm, r);
+      writer.write_row_values({static_cast<double>(vm),
+                               static_cast<double>(r), d.cpu, d.mem});
+    }
+}
+
+TraceStore TraceStore::load_csv(std::istream& in) {
+  const CsvTable table = read_csv(in, /*has_header=*/true);
+  const std::size_t c_vm = table.column("vm");
+  const std::size_t c_round = table.column("round");
+  const std::size_t c_cpu = table.column("cpu");
+  const std::size_t c_mem = table.column("mem");
+  GLAP_REQUIRE(c_vm != CsvTable::npos && c_round != CsvTable::npos &&
+                   c_cpu != CsvTable::npos && c_mem != CsvTable::npos,
+               "trace CSV missing required columns vm,round,cpu,mem");
+
+  std::size_t max_vm = 0, max_round = 0;
+  for (const auto& row : table.rows) {
+    max_vm = std::max(max_vm, static_cast<std::size_t>(std::stoull(row[c_vm])));
+    max_round =
+        std::max(max_round, static_cast<std::size_t>(std::stoull(row[c_round])));
+  }
+  GLAP_REQUIRE(!table.rows.empty(), "trace CSV has no rows");
+
+  TraceStore store(max_vm + 1, max_round + 1);
+  std::vector<bool> seen((max_vm + 1) * (max_round + 1), false);
+  for (const auto& row : table.rows) {
+    const auto vm = static_cast<std::size_t>(std::stoull(row[c_vm]));
+    const auto round = static_cast<std::size_t>(std::stoull(row[c_round]));
+    store.set(vm, round, {std::stod(row[c_cpu]), std::stod(row[c_mem])});
+    seen[vm * (max_round + 1) + round] = true;
+  }
+  for (bool s : seen)
+    GLAP_REQUIRE(s, "trace CSV has gaps: every (vm, round) pair is required");
+  return store;
+}
+
+ReplayModel::ReplayModel(const TraceStore& store, std::size_t vm)
+    : store_(store), vm_(vm) {
+  GLAP_REQUIRE(vm < store.vm_count(), "vm index out of range");
+  GLAP_REQUIRE(store.round_count() > 0, "empty trace store");
+}
+
+Resources ReplayModel::next() {
+  const Resources d = store_.at(vm_, cursor_);
+  cursor_ = (cursor_ + 1) % store_.round_count();
+  return d;
+}
+
+Resources ReplayModel::long_run_mean() const { return store_.series_mean(vm_); }
+
+}  // namespace glap::trace

@@ -1,0 +1,67 @@
+// Materialized trace storage + replay.
+//
+// TraceStore holds a dense [vm][round] matrix of (cpu, mem) samples. It is
+// used (a) to load externally supplied real traces from CSV — the path a
+// user with the actual Google Cluster data would take — and (b) in tests
+// that need to inspect whole series. ReplayModel adapts a stored row back
+// into the DemandModel interface (cycling past the end).
+//
+// CSV schema: header "vm,round,cpu,mem"; one row per (vm, round) sample.
+// Rounds must be dense 0..R-1 per VM.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/resources.hpp"
+#include "trace/demand_model.hpp"
+
+namespace glap::trace {
+
+class TraceStore {
+ public:
+  TraceStore() = default;
+
+  /// Pre-sizes the store for `vms` series of length `rounds`.
+  TraceStore(std::size_t vms, std::size_t rounds);
+
+  /// Materializes `rounds` samples from each provided model.
+  static TraceStore from_models(const std::vector<DemandModel*>& models,
+                                std::size_t rounds);
+
+  /// Parses the CSV schema described above.
+  static TraceStore load_csv(std::istream& in);
+
+  void save_csv(std::ostream& out) const;
+
+  void set(std::size_t vm, std::size_t round, Resources demand);
+  [[nodiscard]] Resources at(std::size_t vm, std::size_t round) const;
+
+  [[nodiscard]] std::size_t vm_count() const noexcept { return vms_; }
+  [[nodiscard]] std::size_t round_count() const noexcept { return rounds_; }
+
+  /// Mean demand of one VM's series.
+  [[nodiscard]] Resources series_mean(std::size_t vm) const;
+
+ private:
+  std::size_t vms_ = 0;
+  std::size_t rounds_ = 0;
+  std::vector<Resources> data_;  // row-major [vm][round]
+};
+
+/// DemandModel that replays a stored series, cycling at the end.
+class ReplayModel final : public DemandModel {
+ public:
+  ReplayModel(const TraceStore& store, std::size_t vm);
+
+  Resources next() override;
+  Resources long_run_mean() const override;
+
+ private:
+  const TraceStore& store_;
+  std::size_t vm_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace glap::trace

@@ -1,0 +1,107 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace glap {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, EscapesCommasQuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvWriter, ValueRowFormatsCompactly) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row_values({1.0, 2.5, 0.000125});
+  EXPECT_EQ(os.str(), "1,2.5,0.000125\n");
+}
+
+TEST(ParseCsvLine, SimpleFields) {
+  const auto fields = parse_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ParseCsvLine, QuotedFieldWithComma) {
+  const auto fields = parse_csv_line("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "c");
+}
+
+TEST(ParseCsvLine, EscapedQuote) {
+  const auto fields = parse_csv_line("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(ParseCsvLine, EmptyFields) {
+  const auto fields = parse_csv_line("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(ParseCsvLine, ToleratesCarriageReturn) {
+  const auto fields = parse_csv_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(ParseCsvLine, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv_line("\"oops"), precondition_error);
+}
+
+TEST(ReadCsv, HeaderAndRows) {
+  std::istringstream in("x,y\n1,2\n3,4\n");
+  const auto table = read_csv(in);
+  ASSERT_EQ(table.header.size(), 2u);
+  EXPECT_EQ(table.column("x"), 0u);
+  EXPECT_EQ(table.column("y"), 1u);
+  EXPECT_EQ(table.column("z"), CsvTable::npos);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][0], "3");
+}
+
+TEST(ReadCsv, NoHeaderMode) {
+  std::istringstream in("1,2\n3,4\n");
+  const auto table = read_csv(in, /*has_header=*/false);
+  EXPECT_TRUE(table.header.empty());
+  EXPECT_EQ(table.rows.size(), 2u);
+}
+
+TEST(ReadCsv, SkipsBlankLines) {
+  std::istringstream in("x\n\n1\n\n2\n");
+  const auto table = read_csv(in);
+  EXPECT_EQ(table.rows.size(), 2u);
+}
+
+TEST(CsvRoundTrip, WriteThenRead) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"name", "value"});
+  w.write_row({"weird,name", "say \"x\""});
+  std::istringstream in(os.str());
+  const auto table = read_csv(in);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "weird,name");
+  EXPECT_EQ(table.rows[0][1], "say \"x\"");
+}
+
+}  // namespace
+}  // namespace glap

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/resources.hpp"
+#include "common/table.hpp"
+
+namespace glap {
+namespace {
+
+TEST(Resources, Arithmetic) {
+  Resources a{1.0, 2.0};
+  Resources b{0.5, 0.25};
+  EXPECT_EQ(a + b, (Resources{1.5, 2.25}));
+  EXPECT_EQ(a - b, (Resources{0.5, 1.75}));
+  EXPECT_EQ(a * 2.0, (Resources{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Resources{2.0, 4.0}));
+}
+
+TEST(Resources, CompoundOps) {
+  Resources a{1.0, 1.0};
+  a += {2.0, 3.0};
+  EXPECT_EQ(a, (Resources{3.0, 4.0}));
+  a -= {1.0, 1.0};
+  EXPECT_EQ(a, (Resources{2.0, 3.0}));
+  a *= 0.5;
+  EXPECT_EQ(a, (Resources{1.0, 1.5}));
+}
+
+TEST(Resources, DividedBy) {
+  const Resources usage{1330.0, 2048.0};
+  const Resources cap{2660.0, 4096.0};
+  const Resources u = usage.divided_by(cap);
+  EXPECT_DOUBLE_EQ(u.cpu, 0.5);
+  EXPECT_DOUBLE_EQ(u.mem, 0.5);
+}
+
+TEST(Resources, DividedByZeroCapacityIsZero) {
+  const Resources u = Resources{1.0, 1.0}.divided_by({0.0, 0.0});
+  EXPECT_EQ(u.cpu, 0.0);
+  EXPECT_EQ(u.mem, 0.0);
+}
+
+TEST(Resources, ScaledBy) {
+  const Resources frac{0.5, 0.25};
+  const Resources cap{500.0, 613.0};
+  const Resources usage = frac.scaled_by(cap);
+  EXPECT_DOUBLE_EQ(usage.cpu, 250.0);
+  EXPECT_DOUBLE_EQ(usage.mem, 153.25);
+}
+
+TEST(Resources, FitsWithin) {
+  EXPECT_TRUE((Resources{1.0, 1.0}).fits_within({1.0, 1.0}));
+  EXPECT_FALSE((Resources{1.1, 1.0}).fits_within({1.0, 1.0}));
+  EXPECT_FALSE((Resources{1.0, 1.1}).fits_within({1.0, 1.0}));
+}
+
+TEST(Resources, Aggregates) {
+  const Resources r{0.3, 0.7};
+  EXPECT_DOUBLE_EQ(r.max_component(), 0.7);
+  EXPECT_DOUBLE_EQ(r.sum(), 1.0);
+  EXPECT_DOUBLE_EQ(r.average(), 0.5);
+}
+
+TEST(Resources, Clamped) {
+  const Resources r{-0.5, 1.5};
+  const Resources c = r.clamped(0.0, 1.0);
+  EXPECT_EQ(c, (Resources{0.0, 1.0}));
+}
+
+TEST(Resources, NonNegative) {
+  EXPECT_TRUE((Resources{0.0, 0.0}).non_negative());
+  EXPECT_FALSE((Resources{-0.1, 0.0}).non_negative());
+}
+
+TEST(ConsoleTable, RendersAlignedColumns) {
+  ConsoleTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ConsoleTable, RowWidthMismatchThrows) {
+  ConsoleTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), precondition_error);
+}
+
+TEST(ConsoleTable, EmptyHeaderThrows) {
+  EXPECT_THROW(ConsoleTable({}), precondition_error);
+}
+
+TEST(ConsoleTable, ValueRowFormatting) {
+  ConsoleTable t({"label", "v1", "v2"});
+  t.add_row_values("row", {1.23456, 7.0}, 2);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("7.00"), std::string::npos);
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_compact(0.000123), "0.000123");
+}
+
+}  // namespace
+}  // namespace glap

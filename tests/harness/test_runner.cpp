@@ -1,0 +1,163 @@
+#include "harness/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace glap::harness {
+namespace {
+
+ExperimentConfig tiny(Algorithm algo, std::uint64_t seed = 42) {
+  ExperimentConfig config;
+  config.algorithm = algo;
+  config.pm_count = 40;
+  config.vm_ratio = 2;
+  config.rounds = 30;
+  config.warmup_rounds = 30;
+  config.glap.learning_rounds = 10;
+  config.glap.aggregation_rounds = 10;
+  config.glap.consolidation_start_round = 30;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Runner, ProducesOneSamplePerEvaluationRound) {
+  const RunResult result = run_experiment(tiny(Algorithm::kGlap));
+  EXPECT_EQ(result.rounds.size(), 30u);
+  for (std::size_t i = 0; i < result.rounds.size(); ++i)
+    EXPECT_EQ(result.rounds[i].round, i);
+}
+
+TEST(Runner, DeterministicForSameSeed) {
+  const RunResult a = run_experiment(tiny(Algorithm::kGlap));
+  const RunResult b = run_experiment(tiny(Algorithm::kGlap));
+  EXPECT_EQ(a.total_migrations, b.total_migrations);
+  EXPECT_DOUBLE_EQ(a.slav, b.slav);
+  EXPECT_DOUBLE_EQ(a.migration_energy_j, b.migration_energy_j);
+  EXPECT_EQ(a.final_active_pms, b.final_active_pms);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].active_pms, b.rounds[i].active_pms);
+    EXPECT_EQ(a.rounds[i].overloaded_pms, b.rounds[i].overloaded_pms);
+    EXPECT_EQ(a.rounds[i].migrations_cum, b.rounds[i].migrations_cum);
+  }
+}
+
+TEST(Runner, DifferentSeedsProduceDifferentRuns) {
+  const RunResult a = run_experiment(tiny(Algorithm::kGlap, 1));
+  const RunResult b = run_experiment(tiny(Algorithm::kGlap, 2));
+  bool any_difference = a.total_migrations != b.total_migrations;
+  for (std::size_t i = 0; !any_difference && i < a.rounds.size(); ++i)
+    any_difference = a.rounds[i].active_pms != b.rounds[i].active_pms;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Runner, NoneAlgorithmNeverMigrates) {
+  const RunResult result = run_experiment(tiny(Algorithm::kNone));
+  EXPECT_EQ(result.total_migrations, 0u);
+  EXPECT_EQ(result.migration_energy_j, 0.0);
+  EXPECT_EQ(result.final_active_pms, 40u);
+  EXPECT_DOUBLE_EQ(result.slalm, 0.0);
+}
+
+TEST(Runner, EveryAlgorithmRunsCleanly) {
+  for (Algorithm algo : {Algorithm::kGlap, Algorithm::kGrmp,
+                         Algorithm::kEcoCloud, Algorithm::kPabfd}) {
+    const RunResult result = run_experiment(tiny(algo));
+    EXPECT_EQ(result.rounds.size(), 30u) << to_string(algo);
+    EXPECT_GT(result.total_energy_j, 0.0) << to_string(algo);
+    EXPECT_GE(result.final_bfd_bins, 1u) << to_string(algo);
+  }
+}
+
+TEST(Runner, CumulativeMigrationsMonotone) {
+  const RunResult result = run_experiment(tiny(Algorithm::kPabfd));
+  std::uint64_t prev = 0;
+  for (const auto& s : result.rounds) {
+    EXPECT_GE(s.migrations_cum, prev);
+    prev = s.migrations_cum;
+  }
+  EXPECT_EQ(prev, result.total_migrations);
+}
+
+TEST(Runner, PerRoundMigrationsSumToTotal) {
+  const RunResult result = run_experiment(tiny(Algorithm::kGrmp));
+  std::uint64_t sum = 0;
+  for (const auto& s : result.rounds) sum += s.migrations_round;
+  EXPECT_EQ(sum, result.total_migrations);
+}
+
+TEST(Runner, ActiveNeverExceedsTotalPms) {
+  const RunResult result = run_experiment(tiny(Algorithm::kGrmp));
+  for (const auto& s : result.rounds) {
+    EXPECT_LE(s.active_pms, 40u);
+    EXPECT_LE(s.overloaded_pms, s.active_pms);
+  }
+}
+
+TEST(Runner, ConvergenceTrackingFillsWarmupSeries) {
+  ExperimentConfig config = tiny(Algorithm::kGlap);
+  config.track_convergence = true;
+  config.convergence_pairs = 16;
+  const RunResult result = run_experiment(config);
+  EXPECT_EQ(result.convergence.size(), config.warmup_rounds);
+  for (double v : result.convergence) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+  // Aggregation must have unified the tables by the end of warmup.
+  EXPECT_GT(result.convergence.back(), 0.99);
+}
+
+TEST(Runner, BaselinesHaveNoConvergenceSeries) {
+  ExperimentConfig config = tiny(Algorithm::kGrmp);
+  config.track_convergence = true;
+  const RunResult result = run_experiment(config);
+  EXPECT_TRUE(result.convergence.empty());
+}
+
+TEST(Runner, GlapPhasesMustFitWarmup) {
+  ExperimentConfig config = tiny(Algorithm::kGlap);
+  config.glap.learning_rounds = 100;  // exceeds 30-round warmup
+  EXPECT_THROW(run_experiment(config), precondition_error);
+}
+
+TEST(Runner, FitGlapPhasesClampsToWarmup) {
+  ExperimentConfig config;
+  config.warmup_rounds = 40;
+  config.fit_glap_phases_to_warmup();
+  EXPECT_LE(config.glap.learning_rounds + config.glap.aggregation_rounds,
+            40u);
+  EXPECT_EQ(config.glap.consolidation_start_round, 40u);
+}
+
+TEST(Runner, LabelMentionsKeyParameters) {
+  const ExperimentConfig config = tiny(Algorithm::kEcoCloud, 9);
+  const std::string label = config.label();
+  EXPECT_NE(label.find("40-2"), std::string::npos);
+  EXPECT_NE(label.find("EcoCloud"), std::string::npos);
+  EXPECT_NE(label.find("seed=9"), std::string::npos);
+}
+
+TEST(RunResult, DerivedSeriesAndMeans) {
+  RunResult result;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    RoundSample s;
+    s.round = i;
+    s.active_pms = 10 + i;
+    s.overloaded_pms = i;
+    s.migrations_round = 2 * i;
+    result.rounds.push_back(s);
+  }
+  EXPECT_EQ(result.overloaded_series(),
+            (std::vector<double>{0, 1, 2, 3}));
+  EXPECT_EQ(result.active_series(),
+            (std::vector<double>{10, 11, 12, 13}));
+  EXPECT_EQ(result.migrations_per_round_series(),
+            (std::vector<double>{0, 2, 4, 6}));
+  EXPECT_DOUBLE_EQ(result.mean_overloaded(), 1.5);
+  EXPECT_DOUBLE_EQ(result.mean_active(), 11.5);
+  EXPECT_NEAR(result.mean_overloaded_fraction(),
+              (0.0 / 10 + 1.0 / 11 + 2.0 / 12 + 3.0 / 13) / 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace glap::harness

@@ -1,0 +1,114 @@
+#include "harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/bench_scale.hpp"
+
+namespace glap::harness {
+namespace {
+
+ExperimentConfig tiny() {
+  ExperimentConfig config;
+  config.algorithm = Algorithm::kGrmp;
+  config.pm_count = 30;
+  config.vm_ratio = 2;
+  config.rounds = 20;
+  config.warmup_rounds = 10;
+  config.fit_glap_phases_to_warmup();
+  config.seed = 100;
+  return config;
+}
+
+TEST(Sweep, RunCellUsesDistinctSeeds) {
+  ThreadPool pool(2);
+  const CellResult cell = run_cell(tiny(), 3, pool);
+  ASSERT_EQ(cell.runs.size(), 3u);
+  // Seeds 100, 101, 102: at least two runs should differ somewhere.
+  bool differ = false;
+  for (std::size_t i = 1; i < 3 && !differ; ++i)
+    differ = cell.runs[i].total_migrations != cell.runs[0].total_migrations ||
+             cell.runs[i].final_active_pms != cell.runs[0].final_active_pms;
+  EXPECT_TRUE(differ);
+}
+
+TEST(Sweep, RunCellMatchesDirectRuns) {
+  ThreadPool pool(3);
+  const CellResult cell = run_cell(tiny(), 2, pool);
+  ExperimentConfig direct = tiny();
+  const RunResult first = run_experiment(direct);
+  direct.seed = tiny().seed + 1;
+  const RunResult second = run_experiment(direct);
+  EXPECT_EQ(cell.runs[0].total_migrations, first.total_migrations);
+  EXPECT_EQ(cell.runs[1].total_migrations, second.total_migrations);
+}
+
+TEST(Sweep, RunCellsPreservesOrder) {
+  ThreadPool pool(4);
+  std::vector<ExperimentConfig> cells;
+  for (std::size_t size : {20, 30}) {
+    ExperimentConfig config = tiny();
+    config.pm_count = size;
+    cells.push_back(config);
+  }
+  const auto results = run_cells(cells, 2, pool);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].config.pm_count, 20u);
+  EXPECT_EQ(results[1].config.pm_count, 30u);
+  for (const auto& cell : results) EXPECT_EQ(cell.runs.size(), 2u);
+}
+
+TEST(Sweep, PooledRoundSummaryPoolsAcrossRuns) {
+  CellResult cell;
+  for (int run = 0; run < 2; ++run) {
+    RunResult r;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      RoundSample s;
+      s.overloaded_pms = static_cast<std::uint32_t>(run * 3 + i);
+      r.rounds.push_back(s);
+    }
+    cell.runs.push_back(std::move(r));
+  }
+  const auto summary = cell.pooled_round_summary(
+      [](const RunResult& r) { return r.overloaded_series(); });
+  EXPECT_EQ(summary.count, 6u);
+  EXPECT_DOUBLE_EQ(summary.median, 2.5);
+  EXPECT_DOUBLE_EQ(summary.min, 0.0);
+  EXPECT_DOUBLE_EQ(summary.max, 5.0);
+}
+
+TEST(Sweep, MeanOfAveragesScalars) {
+  CellResult cell;
+  for (double m : {10.0, 20.0, 30.0}) {
+    RunResult r;
+    r.total_migrations = static_cast<std::uint64_t>(m);
+    cell.runs.push_back(std::move(r));
+  }
+  EXPECT_DOUBLE_EQ(cell.mean_of([](const RunResult& r) {
+    return static_cast<double>(r.total_migrations);
+  }),
+                   20.0);
+}
+
+TEST(Sweep, ZeroRepetitionsRejected) {
+  ThreadPool pool(1);
+  EXPECT_THROW(run_cell(tiny(), 0, pool), precondition_error);
+  EXPECT_THROW(run_cells({tiny()}, 0, pool), precondition_error);
+}
+
+TEST(BenchScale, DefaultAndFull) {
+  // Without env overrides the default scale is small; this test only
+  // checks invariants that hold for either setting.
+  const BenchScale scale = bench_scale_from_env();
+  EXPECT_FALSE(scale.sizes.empty());
+  EXPECT_FALSE(scale.ratios.empty());
+  EXPECT_GT(scale.repetitions, 0u);
+  EXPECT_GT(scale.rounds, 0u);
+  ExperimentConfig config;
+  apply_scale(config, scale);
+  EXPECT_EQ(config.rounds, scale.rounds);
+  EXPECT_LE(config.glap.learning_rounds + config.glap.aggregation_rounds,
+            config.warmup_rounds);
+}
+
+}  // namespace
+}  // namespace glap::harness

@@ -1,0 +1,132 @@
+// Cross-module integration tests: full experiment runs checked against
+// system-level invariants, for every algorithm and several sweep cells.
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+
+namespace glap::harness {
+namespace {
+
+struct Cell {
+  Algorithm algorithm;
+  std::size_t pm_count;
+  std::size_t ratio;
+};
+
+class EndToEndTest : public ::testing::TestWithParam<Cell> {};
+
+ExperimentConfig config_for(const Cell& cell) {
+  ExperimentConfig config;
+  config.algorithm = cell.algorithm;
+  config.pm_count = cell.pm_count;
+  config.vm_ratio = cell.ratio;
+  config.rounds = 60;
+  config.warmup_rounds = 40;
+  config.glap.learning_rounds = 20;
+  config.glap.aggregation_rounds = 20;
+  config.glap.consolidation_start_round = 40;
+  config.seed = 2024;
+  return config;
+}
+
+TEST_P(EndToEndTest, SystemInvariantsHold) {
+  const Cell cell = GetParam();
+  const RunResult result = run_experiment(config_for(cell));
+
+  ASSERT_EQ(result.rounds.size(), 60u);
+  for (const auto& s : result.rounds) {
+    // Active PMs never exceed the fleet; overloaded never exceed active.
+    EXPECT_LE(s.active_pms, cell.pm_count);
+    EXPECT_GE(s.active_pms, 1u);
+    EXPECT_LE(s.overloaded_pms, s.active_pms);
+  }
+
+  // SLA metrics are well-formed.
+  EXPECT_GE(result.slavo, 0.0);
+  EXPECT_LE(result.slavo, 1.0);
+  EXPECT_GE(result.slalm, 0.0);
+  EXPECT_NEAR(result.slav, result.slavo * result.slalm, 1e-12);
+
+  // Energy accounting is consistent: active PMs for 60 rounds of 120 s.
+  EXPECT_GT(result.total_energy_j, 0.0);
+  const double max_energy =
+      static_cast<double>(cell.pm_count) * 135.0 * 60.0 * 120.0;
+  EXPECT_LE(result.total_energy_j, max_energy);
+  EXPECT_GE(result.migration_energy_j, 0.0);
+
+  // Consolidators must actually consolidate on these underloaded fleets.
+  if (cell.algorithm != Algorithm::kNone)
+    EXPECT_LT(result.final_active_pms, cell.pm_count);
+
+  // The BFD oracle can never need more PMs than exist.
+  EXPECT_LE(result.final_bfd_bins, cell.pm_count);
+  EXPECT_GE(result.final_bfd_bins, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, EndToEndTest,
+    ::testing::Values(Cell{Algorithm::kGlap, 60, 2},
+                      Cell{Algorithm::kGlap, 60, 4},
+                      Cell{Algorithm::kGrmp, 60, 3},
+                      Cell{Algorithm::kEcoCloud, 60, 3},
+                      Cell{Algorithm::kPabfd, 60, 3},
+                      Cell{Algorithm::kNone, 40, 2}),
+    [](const auto& info) {
+      return std::string(to_string(info.param.algorithm)) + "_" +
+             std::to_string(info.param.pm_count) + "x" +
+             std::to_string(info.param.ratio);
+    });
+
+TEST(EndToEnd, IdenticalWorkloadAcrossAlgorithms) {
+  // The None run exposes the raw demand playback; any algorithm's run on
+  // the same seed must see identical BFD oracle packing at the end (the
+  // oracle depends only on demands, which must be algorithm-independent).
+  Cell base{Algorithm::kNone, 50, 3};
+  const RunResult none = run_experiment(config_for(base));
+  for (Algorithm algo : {Algorithm::kGlap, Algorithm::kGrmp,
+                         Algorithm::kEcoCloud, Algorithm::kPabfd}) {
+    Cell cell{algo, 50, 3};
+    const RunResult result = run_experiment(config_for(cell));
+    EXPECT_EQ(result.final_bfd_bins, none.final_bfd_bins)
+        << to_string(algo) << " saw a different demand stream";
+  }
+}
+
+TEST(EndToEnd, GlapBeatsGrmpOnOverloads) {
+  // The paper's headline claim, checked at small scale: GLAP produces
+  // fewer overloaded PMs than the aggressive threshold protocol.
+  Cell glap_cell{Algorithm::kGlap, 80, 3};
+  Cell grmp_cell{Algorithm::kGrmp, 80, 3};
+  ExperimentConfig glap_config = config_for(glap_cell);
+  ExperimentConfig grmp_config = config_for(grmp_cell);
+  glap_config.rounds = grmp_config.rounds = 120;
+  const RunResult glap = run_experiment(glap_config);
+  const RunResult grmp = run_experiment(grmp_config);
+  EXPECT_LT(glap.mean_overloaded(), grmp.mean_overloaded());
+}
+
+TEST(EndToEnd, GlapConvergenceReachesUnity) {
+  Cell cell{Algorithm::kGlap, 60, 3};
+  ExperimentConfig config = config_for(cell);
+  config.track_convergence = true;
+  config.convergence_pairs = 32;
+  const RunResult result = run_experiment(config);
+  ASSERT_EQ(result.convergence.size(), config.warmup_rounds);
+  EXPECT_GT(result.convergence.back(), 0.999);
+  // And the learning-only prefix is less converged than the end state.
+  EXPECT_LT(result.convergence[config.glap.learning_rounds - 1],
+            result.convergence.back());
+}
+
+TEST(EndToEnd, MessageAccountingIsPopulatedForGossipProtocols) {
+  for (Algorithm algo :
+       {Algorithm::kGlap, Algorithm::kGrmp, Algorithm::kEcoCloud}) {
+    Cell cell{algo, 40, 2};
+    const RunResult result = run_experiment(config_for(cell));
+    EXPECT_GT(result.messages, 0u) << to_string(algo);
+    EXPECT_GT(result.bytes, 0u) << to_string(algo);
+  }
+}
+
+}  // namespace
+}  // namespace glap::harness

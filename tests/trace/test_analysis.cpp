@@ -1,0 +1,87 @@
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "trace/demand_models.hpp"
+
+namespace glap::trace {
+namespace {
+
+TEST(Autocorrelation, ConstantSeriesIsZero) {
+  EXPECT_EQ(autocorrelation({1, 1, 1, 1}, 1), 0.0);
+}
+
+TEST(Autocorrelation, DegenerateInputs) {
+  EXPECT_EQ(autocorrelation({}, 1), 0.0);
+  EXPECT_EQ(autocorrelation({1.0}, 0), 0.0);
+  EXPECT_EQ(autocorrelation({1.0, 2.0}, 5), 0.0);
+}
+
+TEST(Autocorrelation, PeriodicSeriesPeaksAtPeriod) {
+  std::vector<double> series;
+  for (int i = 0; i < 400; ++i)
+    series.push_back(std::sin(2.0 * std::numbers::pi * i / 40.0));
+  EXPECT_GT(autocorrelation(series, 40), 0.8);
+  EXPECT_LT(autocorrelation(series, 20), -0.8);  // anti-phase
+}
+
+TEST(Autocorrelation, WhiteNoiseNearZero) {
+  Rng rng(1);
+  std::vector<double> series;
+  for (int i = 0; i < 5000; ++i) series.push_back(rng.normal());
+  EXPECT_NEAR(autocorrelation(series, 7), 0.0, 0.05);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  std::vector<double> series{1, 3, 2, 5, 4};
+  EXPECT_NEAR(autocorrelation(series, 0), 1.0, 1e-12);
+}
+
+TEST(BurstFraction, CountsThresholdCrossings) {
+  EXPECT_DOUBLE_EQ(burst_fraction({0.1, 0.9, 0.9, 0.1}, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(burst_fraction({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(burst_fraction({0.5}, 0.5), 1.0);  // inclusive
+}
+
+TEST(MeanBurstLength, AveragesRuns) {
+  // Runs of length 2 and 4.
+  const std::vector<double> series{0, 1, 1, 0, 1, 1, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(mean_burst_length(series, 0.5), 3.0);
+}
+
+TEST(MeanBurstLength, TrailingRunCounted) {
+  EXPECT_DOUBLE_EQ(mean_burst_length({0, 1, 1}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(mean_burst_length({0, 0}, 0.5), 0.0);
+}
+
+TEST(PeakToMean, KnownValues) {
+  EXPECT_DOUBLE_EQ(peak_to_mean({1, 1, 4}), 2.0);
+  EXPECT_DOUBLE_EQ(peak_to_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(peak_to_mean({0, 0}), 0.0);
+}
+
+TEST(Analysis, BurstyModelHasLongerBurstsThanSpiky) {
+  auto collect = [](DemandModel& model) {
+    std::vector<double> out;
+    for (int i = 0; i < 8000; ++i) out.push_back(model.next().cpu);
+    return out;
+  };
+  BurstyModel bursty(0.2, 0.9, 0.03, 0.05, 0.3, Rng(2));
+  SpikeModel spiky(0.1, 0.9, 0.01, 3, 0.3, Rng(3));
+  auto b = collect(bursty);
+  auto s = collect(spiky);
+  EXPECT_GT(mean_burst_length(b, 0.6), mean_burst_length(s, 0.6));
+}
+
+TEST(Analysis, DiurnalModelIsAutocorrelatedAtPeriod) {
+  DiurnalModel model(0.5, 0.3, 60, 0.0, 0.3, Rng(4));
+  std::vector<double> series;
+  for (int i = 0; i < 600; ++i) series.push_back(model.next().cpu);
+  EXPECT_GT(autocorrelation(series, 60), 0.5);
+}
+
+}  // namespace
+}  // namespace glap::trace

@@ -1,0 +1,226 @@
+#include "trace/demand_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace glap::trace {
+namespace {
+
+using ModelFactory = std::function<DemandModelPtr(Rng)>;
+
+struct ModelCase {
+  const char* name;
+  ModelFactory make;
+};
+
+std::vector<ModelCase> all_models() {
+  return {
+      {"stable",
+       [](Rng rng) {
+         return std::make_unique<StableModel>(0.4, 0.3, 0.03, rng);
+       }},
+      {"diurnal",
+       [](Rng rng) {
+         return std::make_unique<DiurnalModel>(0.5, 0.25, 96, 0.3, 0.3, rng);
+       }},
+      {"random_walk",
+       [](Rng rng) {
+         return std::make_unique<RandomWalkModel>(0.35, 0.06, 0.3, rng);
+       }},
+      {"bursty",
+       [](Rng rng) {
+         return std::make_unique<BurstyModel>(0.2, 0.85, 0.05, 0.08, 0.3,
+                                              rng);
+       }},
+      {"spike",
+       [](Rng rng) {
+         return std::make_unique<SpikeModel>(0.15, 0.9, 0.02, 5, 0.3, rng);
+       }},
+  };
+}
+
+class AllModelsTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AllModelsTest, SamplesStayInUnitBox) {
+  const auto model_case = all_models()[GetParam()];
+  auto model = model_case.make(Rng(42));
+  for (int i = 0; i < 5000; ++i) {
+    const Resources d = model->next();
+    ASSERT_GE(d.cpu, 0.0) << model_case.name;
+    ASSERT_LE(d.cpu, 1.0) << model_case.name;
+    ASSERT_GE(d.mem, 0.0) << model_case.name;
+    ASSERT_LE(d.mem, 1.0) << model_case.name;
+  }
+}
+
+TEST_P(AllModelsTest, DeterministicForSameSeed) {
+  const auto model_case = all_models()[GetParam()];
+  auto a = model_case.make(Rng(7));
+  auto b = model_case.make(Rng(7));
+  for (int i = 0; i < 500; ++i) {
+    const Resources da = a->next();
+    const Resources db = b->next();
+    ASSERT_EQ(da.cpu, db.cpu) << model_case.name << " at step " << i;
+    ASSERT_EQ(da.mem, db.mem) << model_case.name;
+  }
+}
+
+TEST_P(AllModelsTest, DifferentSeedsDiffer) {
+  const auto model_case = all_models()[GetParam()];
+  auto a = model_case.make(Rng(1));
+  auto b = model_case.make(Rng(2));
+  double max_diff = 0.0;
+  for (int i = 0; i < 200; ++i)
+    max_diff = std::max(max_diff, std::abs(a->next().cpu - b->next().cpu));
+  EXPECT_GT(max_diff, 0.0) << model_case.name;
+}
+
+TEST_P(AllModelsTest, EmpiricalMeanTracksLongRunMean) {
+  const auto model_case = all_models()[GetParam()];
+  auto model = model_case.make(Rng(11));
+  RunningStats cpu;
+  for (int i = 0; i < 30000; ++i) cpu.add(model->next().cpu);
+  const double expected = model->long_run_mean().cpu;
+  EXPECT_NEAR(cpu.mean(), expected, 0.08) << model_case.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, AllModelsTest,
+                         ::testing::Range<std::size_t>(0, 5),
+                         [](const auto& info) {
+                           return all_models()[info.param].name;
+                         });
+
+TEST(OuProcess, MeanRevertsFromDisplacement) {
+  Rng rng(3);
+  OuProcess ou(0.5, 0.2, 0.0, 1.0);  // no noise: pure decay toward 0.5
+  double x = 1.0;
+  for (int i = 0; i < 50; ++i) x = ou.step(rng);
+  EXPECT_NEAR(x, 0.5, 0.01);
+}
+
+TEST(OuProcess, ClampsToUnitInterval) {
+  Rng rng(4);
+  OuProcess ou(0.5, 0.1, 0.5, 0.5);  // huge noise
+  for (int i = 0; i < 1000; ++i) {
+    const double x = ou.step(rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+  }
+}
+
+TEST(OuProcess, RecenterChangesAttractor) {
+  Rng rng(5);
+  OuProcess ou(0.2, 0.3, 0.0, 0.2);
+  ou.recenter(0.8);
+  double x = 0.2;
+  for (int i = 0; i < 60; ++i) x = ou.step(rng);
+  EXPECT_NEAR(x, 0.8, 0.01);
+}
+
+TEST(DiurnalModel, OscillatesWithConfiguredPeriod) {
+  const std::uint32_t period = 120;
+  DiurnalModel model(0.5, 0.3, period, 0.0, 0.3, Rng(6));
+  std::vector<double> series;
+  for (std::uint32_t i = 0; i < period * 2; ++i)
+    series.push_back(model.next().cpu);
+  // One full period apart the series should correlate strongly.
+  double same = 0.0, opposite = 0.0;
+  for (std::uint32_t i = 0; i < period; ++i) {
+    same += std::abs(series[i] - series[i + period]);
+    opposite += std::abs(series[i] - series[(i + period / 2) % period]);
+  }
+  EXPECT_LT(same / period, opposite / period);
+}
+
+TEST(DiurnalModel, AmplitudeVisible) {
+  DiurnalModel model(0.5, 0.3, 100, 0.0, 0.3, Rng(7));
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double x = model.next().cpu;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  EXPECT_GT(hi - lo, 0.4);
+}
+
+TEST(BurstyModel, VisitsBothRegimes) {
+  BurstyModel model(0.15, 0.9, 0.1, 0.1, 0.3, Rng(8));
+  int low_rounds = 0, high_rounds = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = model.next().cpu;
+    if (x < 0.4) ++low_rounds;
+    if (x > 0.7) ++high_rounds;
+  }
+  EXPECT_GT(low_rounds, 300);
+  EXPECT_GT(high_rounds, 300);
+}
+
+TEST(BurstyModel, StationaryMeanFormula) {
+  // p_up = p_down => half the time in each regime.
+  BurstyModel model(0.2, 0.8, 0.05, 0.05, 0.3, Rng(9));
+  EXPECT_NEAR(model.long_run_mean().cpu, 0.5, 1e-9);
+}
+
+TEST(BurstyModel, RejectsBadProbabilities) {
+  EXPECT_THROW(BurstyModel(0.2, 0.8, 1.5, 0.1, 0.3, Rng(1)),
+               precondition_error);
+  EXPECT_THROW(BurstyModel(0.2, 0.8, 0.1, -0.1, 0.3, Rng(1)),
+               precondition_error);
+}
+
+TEST(SpikeModel, SpikesLastConfiguredLength) {
+  SpikeModel model(0.1, 0.95, 0.01, 4, 0.3, Rng(10));
+  int in_spike_run = 0;
+  std::vector<int> run_lengths;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = model.next().cpu;
+    if (x > 0.6) {
+      ++in_spike_run;
+    } else if (in_spike_run > 0) {
+      run_lengths.push_back(in_spike_run);
+      in_spike_run = 0;
+    }
+  }
+  ASSERT_FALSE(run_lengths.empty());
+  for (int len : run_lengths) EXPECT_GE(len, 1);
+  const double mean_len =
+      std::accumulate(run_lengths.begin(), run_lengths.end(), 0.0) /
+      run_lengths.size();
+  EXPECT_NEAR(mean_len, 4.0, 1.5);
+}
+
+TEST(SpikeModel, MostlyQuiet) {
+  SpikeModel model(0.1, 0.95, 0.005, 3, 0.3, Rng(11));
+  int quiet = 0;
+  for (int i = 0; i < 5000; ++i)
+    if (model.next().cpu < 0.3) ++quiet;
+  EXPECT_GT(quiet, 4000);
+}
+
+TEST(StableModel, LowVariance) {
+  StableModel model(0.4, 0.3, 0.01, Rng(12));
+  RunningStats s;
+  for (int i = 0; i < 5000; ++i) s.add(model.next().cpu);
+  EXPECT_NEAR(s.mean(), 0.4, 0.01);
+  EXPECT_LT(s.stddev(), 0.03);
+}
+
+TEST(MemorySeriesViaModels, MemIsSteadierThanCpu) {
+  RandomWalkModel model(0.4, 0.08, 0.4, Rng(13));
+  RunningStats cpu, mem;
+  for (int i = 0; i < 10000; ++i) {
+    const Resources d = model.next();
+    cpu.add(d.cpu);
+    mem.add(d.mem);
+  }
+  EXPECT_LT(mem.stddev(), cpu.stddev());
+}
+
+}  // namespace
+}  // namespace glap::trace
