@@ -40,10 +40,22 @@ void BM_QTableMergeAverage(benchmark::State& state) {
         static_cast<std::uint16_t>(rng.bounded(qlearn::kLevelPairCount)));
     (i % 2 ? a : b).set(s, act, rng.uniform());
   }
+  // merge_average mutates its destination, so each iteration needs a fresh
+  // copy of `a` — but copying must stay outside the timed region or it
+  // dominates the merge being measured. Rebuild a pool of copies with the
+  // timer paused, amortizing the pause overhead across the pool.
+  constexpr std::size_t kPool = 64;
+  std::vector<qlearn::QTable> pool(kPool, a);
+  std::size_t next = 0;
   for (auto _ : state) {
-    qlearn::QTable merged = a;
-    merged.merge_average(b);
-    benchmark::DoNotOptimize(merged.size());
+    pool[next].merge_average(b);
+    benchmark::DoNotOptimize(pool[next].size());
+    if (++next == kPool) {
+      state.PauseTiming();
+      for (auto& t : pool) t = a;
+      next = 0;
+      state.ResumeTiming();
+    }
   }
 }
 BENCHMARK(BM_QTableMergeAverage)->Arg(256)->Arg(2048);

@@ -1,0 +1,140 @@
+// Perf-trajectory baseline: times the Q-table micro-kernels (Bellman
+// update, Algorithm 2 merge_average, Fig. 5 cosine similarity) plus one
+// end-to-end default 150-PM GLAP experiment, and emits a JSON record.
+//
+// The committed BENCH_qtable.json at the repo root accumulates one entry
+// per milestone (starting with the hash-map seed), so every future PR can
+// be measured against the same kernel set on the same machine:
+//
+//   build-release/bench/perf_baseline [label] >> /dev/stdout
+//
+// Build in Release (-O3); see scripts/ci.sh and README "Performance".
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/runner.hpp"
+#include "qlearn/qtable.hpp"
+
+namespace {
+
+using namespace glap;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Fills `table` with `entries` distinct-ish random (state, action) pairs.
+qlearn::QTable make_table(int entries, std::uint64_t seed) {
+  qlearn::QTable table;
+  Rng rng(seed);
+  for (int i = 0; i < entries; ++i) {
+    const auto s = qlearn::State::from_index(
+        static_cast<std::uint16_t>(rng.bounded(qlearn::kLevelPairCount)));
+    const auto a = qlearn::Action::from_index(
+        static_cast<std::uint16_t>(rng.bounded(qlearn::kLevelPairCount)));
+    table.set(s, a, rng.uniform());
+  }
+  return table;
+}
+
+/// ns/op for random Bellman updates over the full state space.
+double time_update() {
+  qlearn::QTable table;
+  const qlearn::QLearningParams params;
+  Rng rng(1);
+  std::vector<qlearn::State> states;
+  for (std::uint16_t i = 0; i < qlearn::kLevelPairCount; ++i)
+    states.push_back(qlearn::State::from_index(i));
+  constexpr int kOps = 2'000'000;
+  const auto start = Clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    const auto s = states[rng.bounded(states.size())];
+    const auto a = states[rng.bounded(states.size())];
+    const auto next = states[rng.bounded(states.size())];
+    table.update(s, a, 4.0, next, params);
+  }
+  const double elapsed = seconds_since(start);
+  if (table.size() == 0) std::abort();  // keep the work observable
+  return elapsed / kOps * 1e9;
+}
+
+/// ns/op for merge_average of two ~2048-entry tables. The destination
+/// copies are rebuilt outside the timed region so only the merge is timed.
+double time_merge_2048() {
+  const qlearn::QTable a = make_table(1024, 2);
+  const qlearn::QTable b = make_table(1024, 3);
+  constexpr std::size_t kPool = 64;
+  constexpr int kBatches = 200;
+  std::vector<qlearn::QTable> pool(kPool, a);
+  double elapsed = 0.0;
+  std::size_t guard = 0;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    for (auto& t : pool) t = a;  // refill, untimed
+    const auto start = Clock::now();
+    for (auto& t : pool) t.merge_average(b);
+    elapsed += seconds_since(start);
+    guard += pool.back().size();
+  }
+  if (guard == 0) std::abort();
+  return elapsed / (kPool * kBatches) * 1e9;
+}
+
+/// ns/op for cosine similarity of two 2048-entry tables.
+double time_cosine_2048() {
+  const qlearn::QTable a = make_table(2048, 4);
+  const qlearn::QTable b = make_table(2048, 5);
+  constexpr int kOps = 20'000;
+  double guard = 0.0;
+  const auto start = Clock::now();
+  for (int i = 0; i < kOps; ++i) guard += qlearn::cosine_similarity(a, b);
+  const double elapsed = seconds_since(start);
+  if (guard < 0.0) std::abort();
+  return elapsed / kOps * 1e9;
+}
+
+/// Rounds/sec of the default GLAP experiment at 150 PMs (720 evaluation
+/// rounds + 700 warmup rounds with the full learning/aggregation stack).
+double time_end_to_end(double* out_rounds) {
+  harness::ExperimentConfig config;
+  config.algorithm = harness::Algorithm::kGlap;
+  config.pm_count = 150;
+  config.fit_glap_phases_to_warmup();
+  const double total_rounds =
+      static_cast<double>(config.warmup_rounds + config.rounds);
+  const auto start = Clock::now();
+  const auto result = harness::run_experiment(config);
+  const double elapsed = seconds_since(start);
+  if (result.rounds.size() != config.rounds) std::abort();
+  *out_rounds = total_rounds;
+  return total_rounds / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string label = argc > 1 ? argv[1] : "current";
+
+  std::fprintf(stderr, "[perf_baseline] qtable update...\n");
+  const double update_ns = time_update();
+  std::fprintf(stderr, "[perf_baseline] merge_average/2048...\n");
+  const double merge_ns = time_merge_2048();
+  std::fprintf(stderr, "[perf_baseline] cosine_similarity/2048...\n");
+  const double cosine_ns = time_cosine_2048();
+  std::fprintf(stderr, "[perf_baseline] end-to-end 150-PM GLAP run...\n");
+  double total_rounds = 0.0;
+  const double rounds_per_sec = time_end_to_end(&total_rounds);
+
+  std::printf("{\n");
+  std::printf("  \"label\": \"%s\",\n", label.c_str());
+  std::printf("  \"qtable_update_ns\": %.1f,\n", update_ns);
+  std::printf("  \"qtable_merge_average_2048_ns\": %.1f,\n", merge_ns);
+  std::printf("  \"qtable_cosine_similarity_2048_ns\": %.1f,\n", cosine_ns);
+  std::printf("  \"glap_150pm_rounds\": %.0f,\n", total_rounds);
+  std::printf("  \"glap_150pm_rounds_per_sec\": %.2f\n", rounds_per_sec);
+  std::printf("}\n");
+  return 0;
+}

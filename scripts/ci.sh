@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 CI entry point.
+#
+# Stage 1 (correctness): RelWithDebInfo build with hot-path checks ON,
+# full ctest suite. This is the gating tier-1 verify from ROADMAP.md.
+#
+# Stage 2 (performance): Release (-O3, NDEBUG) build with
+# GLAP_ENABLE_CHECKS=OFF so benchmarks measure the unchecked per-round
+# path. Runs bench/perf_baseline and prints its JSON line; compare
+# against the committed BENCH_qtable.json at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: RelWithDebInfo build + ctest =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGLAP_ENABLE_CHECKS=ON
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== bench: Release -O3 build (checks off) =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release -DGLAP_ENABLE_CHECKS=OFF
+cmake --build build-release -j "$JOBS"
+
+if [[ "${RUN_BENCH:-1}" == "1" ]]; then
+  echo "== bench: perf_baseline =="
+  ./build-release/bench/perf_baseline "ci-$(git rev-parse --short HEAD 2>/dev/null || echo local)"
+fi

@@ -34,7 +34,7 @@ sim::Engine::ProtocolSlot EcoCloudProtocol::install(sim::Engine& engine,
   GLAP_REQUIRE(engine.node_count() == dc.pm_count(),
                "engine nodes must map 1:1 onto data-center PMs");
   Rng master(hash_combine(seed, hash_tag("ecocloud")));
-  std::vector<std::unique_ptr<sim::Protocol>> instances;
+  std::vector<std::unique_ptr<EcoCloudProtocol>> instances;
   instances.reserve(engine.node_count());
   for (std::size_t i = 0; i < engine.node_count(); ++i)
     instances.push_back(

@@ -18,7 +18,7 @@ sim::Engine::ProtocolSlot GrmpProtocol::install(
     sim::Engine::ProtocolSlot overlay_slot) {
   GLAP_REQUIRE(engine.node_count() == dc.pm_count(),
                "engine nodes must map 1:1 onto data-center PMs");
-  std::vector<std::unique_ptr<sim::Protocol>> instances;
+  std::vector<std::unique_ptr<GrmpProtocol>> instances;
   instances.reserve(engine.node_count());
   for (std::size_t i = 0; i < engine.node_count(); ++i)
     instances.push_back(

@@ -30,7 +30,7 @@ sim::Engine::ProtocolSlot PabfdManager::install(sim::Engine& engine,
   GLAP_REQUIRE(engine.node_count() == dc.pm_count(),
                "engine nodes must map 1:1 onto data-center PMs");
   GLAP_REQUIRE(manager_node < engine.node_count(), "manager node out of range");
-  std::vector<std::unique_ptr<sim::Protocol>> instances;
+  std::vector<std::unique_ptr<PabfdManager>> instances;
   instances.reserve(engine.node_count());
   for (std::size_t i = 0; i < engine.node_count(); ++i)
     instances.push_back(std::make_unique<PabfdManager>(config, dc));

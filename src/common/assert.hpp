@@ -63,3 +63,15 @@ namespace detail {
 #else
 #define GLAP_DEBUG_ASSERT(expr, msg) GLAP_ASSERT(expr, msg)
 #endif
+
+// GLAP_HOT_REQUIRE guards preconditions on per-round hot paths (e.g.
+// Engine::protocol_at bounds checks). It is GLAP_REQUIRE unless the build
+// turns hot-path checks off (CMake -DGLAP_ENABLE_CHECKS=OFF, which defines
+// GLAP_NO_HOT_CHECKS — intended for optimized bench/Release builds; keep
+// checks ON in Debug and CI). Cold-path validation and type-mismatch
+// detection stay on GLAP_REQUIRE in every configuration.
+#ifdef GLAP_NO_HOT_CHECKS
+#define GLAP_HOT_REQUIRE(expr, msg) ((void)0)
+#else
+#define GLAP_HOT_REQUIRE(expr, msg) GLAP_REQUIRE(expr, msg)
+#endif

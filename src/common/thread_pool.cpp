@@ -48,10 +48,21 @@ void ThreadPool::wait_idle() {
 
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // One task per index drowns small bodies in queue-lock and future
+  // allocation overhead (sweep fan-out submits thousands of cells).
+  // Chunk into ~4 blocks per worker: enough slack for load balancing
+  // across uneven cells, bounded submission cost.
+  const std::size_t chunks = std::min(n, pool.size() * 4);
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    futures.push_back(pool.submit([&fn, i] { fn(i); }));
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = n * c / chunks;
+    const std::size_t end = n * (c + 1) / chunks;
+    futures.push_back(pool.submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
   std::exception_ptr first_error;
   for (auto& f : futures) {
     try {

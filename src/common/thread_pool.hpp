@@ -56,7 +56,9 @@ class ThreadPool {
 };
 
 /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-/// Exceptions from tasks propagate (the first one observed rethrows).
+/// Indices are processed in contiguous chunks (~4 per worker) to bound
+/// submission overhead; an exception skips the rest of its chunk, and the
+/// first one observed rethrows after all chunks finish.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 

@@ -31,7 +31,7 @@ sim::Engine::ProtocolSlot GlapConsolidationProtocol::install(
   GLAP_REQUIRE(engine.node_count() == dc.pm_count(),
                "engine nodes must map 1:1 onto data-center PMs");
   Rng master(hash_combine(seed, hash_tag("glap-consolidation")));
-  std::vector<std::unique_ptr<sim::Protocol>> instances;
+  std::vector<std::unique_ptr<GlapConsolidationProtocol>> instances;
   instances.reserve(engine.node_count());
   for (std::size_t i = 0; i < engine.node_count(); ++i)
     instances.push_back(std::make_unique<GlapConsolidationProtocol>(

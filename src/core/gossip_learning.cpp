@@ -38,7 +38,7 @@ sim::Engine::ProtocolSlot GossipLearningProtocol::install(
   GLAP_REQUIRE(engine.node_count() == dc.pm_count(),
                "engine nodes must map 1:1 onto data-center PMs");
   Rng master(hash_combine(seed, hash_tag("gossip-learning")));
-  std::vector<std::unique_ptr<sim::Protocol>> instances;
+  std::vector<std::unique_ptr<GossipLearningProtocol>> instances;
   instances.reserve(engine.node_count());
   for (std::size_t i = 0; i < engine.node_count(); ++i)
     instances.push_back(std::make_unique<GossipLearningProtocol>(
@@ -118,11 +118,11 @@ void GossipLearningProtocol::aggregation_cycle(sim::Engine& engine,
                                  remote.tables_.size() * kQEntryBytes);
 
   // Push-pull merge (Algorithm 2): both parties apply UPDATE and end up
-  // with the identical averaged/unioned table.
-  QTablePair merged = tables_;
-  merged.merge_average(remote.tables_);
-  tables_ = merged;
-  remote.tables_ = std::move(merged);
+  // with the identical averaged/unioned table. Merging in place and
+  // copying once (flat tables copy as a single memcpy) beats building a
+  // third table.
+  tables_.merge_average(remote.tables_);
+  remote.tables_ = tables_;
 }
 
 }  // namespace glap::core

@@ -4,28 +4,9 @@
 
 namespace glap::core {
 
-namespace {
-struct DotTerms {
-  double dot = 0.0;
-  double norm_a = 0.0;
-  double norm_b = 0.0;
-};
-
-DotTerms accumulate(const qlearn::QTable& a, const qlearn::QTable& b) {
-  DotTerms t;
-  for (const auto& [key, qa] : a.entries()) {
-    t.norm_a += qa * qa;
-    const auto it = b.entries().find(key);
-    if (it != b.entries().end()) t.dot += qa * it->second;
-  }
-  for (const auto& [key, qb] : b.entries()) t.norm_b += qb * qb;
-  return t;
-}
-}  // namespace
-
 double cosine_similarity(const QTablePair& a, const QTablePair& b) {
-  const DotTerms t_out = accumulate(a.out, b.out);
-  const DotTerms t_in = accumulate(a.in, b.in);
+  const qlearn::CosineTerms t_out = qlearn::cosine_terms(a.out, b.out);
+  const qlearn::CosineTerms t_in = qlearn::cosine_terms(a.in, b.in);
   const double dot = t_out.dot + t_in.dot;
   const double na = t_out.norm_a + t_in.norm_a;
   const double nb = t_out.norm_b + t_in.norm_b;

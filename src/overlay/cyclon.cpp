@@ -29,7 +29,7 @@ sim::Engine::ProtocolSlot CyclonProtocol::install(sim::Engine& engine,
                                                   std::uint64_t seed) {
   const std::size_t n = engine.node_count();
   Rng master(hash_combine(seed, hash_tag("cyclon")));
-  std::vector<std::unique_ptr<sim::Protocol>> instances;
+  std::vector<std::unique_ptr<CyclonProtocol>> instances;
   instances.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     instances.push_back(
@@ -39,7 +39,7 @@ sim::Engine::ProtocolSlot CyclonProtocol::install(sim::Engine& engine,
   // guarantees initial connectivity even for tiny caches).
   Rng boot(hash_combine(seed, hash_tag("cyclon-bootstrap")));
   for (std::size_t i = 0; i < n; ++i) {
-    auto& proto = static_cast<CyclonProtocol&>(*instances[i]);
+    auto& proto = *instances[i];
     std::vector<sim::NodeId> neighbors;
     if (n > 1) {
       neighbors.push_back(static_cast<sim::NodeId>((i + 1) % n));
@@ -56,6 +56,7 @@ sim::Engine::ProtocolSlot CyclonProtocol::install(sim::Engine& engine,
   }
 
   const auto slot = engine.add_protocol_slot(std::move(instances));
+  engine.add_protocol_view<CyclonProtocol, NeighborProvider>(slot);
   for (std::size_t i = 0; i < n; ++i)
     CyclonInstaller::set_slot(engine.protocol_at<CyclonProtocol>(
                                   slot, static_cast<sim::NodeId>(i)),

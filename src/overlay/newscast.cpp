@@ -26,7 +26,7 @@ sim::Engine::ProtocolSlot NewscastProtocol::install(sim::Engine& engine,
                                                     std::uint64_t seed) {
   const std::size_t n = engine.node_count();
   Rng master(hash_combine(seed, hash_tag("newscast")));
-  std::vector<std::unique_ptr<sim::Protocol>> instances;
+  std::vector<std::unique_ptr<NewscastProtocol>> instances;
   instances.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     instances.push_back(
@@ -34,7 +34,7 @@ sim::Engine::ProtocolSlot NewscastProtocol::install(sim::Engine& engine,
 
   Rng boot(hash_combine(seed, hash_tag("newscast-bootstrap")));
   for (std::size_t i = 0; i < n; ++i) {
-    auto& proto = static_cast<NewscastProtocol&>(*instances[i]);
+    auto& proto = *instances[i];
     std::vector<sim::NodeId> peers;
     if (n > 1) {
       peers.push_back(static_cast<sim::NodeId>((i + 1) % n));
@@ -50,6 +50,7 @@ sim::Engine::ProtocolSlot NewscastProtocol::install(sim::Engine& engine,
   }
 
   const auto slot = engine.add_protocol_slot(std::move(instances));
+  engine.add_protocol_view<NewscastProtocol, NeighborProvider>(slot);
   for (std::size_t i = 0; i < n; ++i)
     NewscastInstaller::set_slot(engine.protocol_at<NewscastProtocol>(
                                     slot, static_cast<sim::NodeId>(i)),

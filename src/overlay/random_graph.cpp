@@ -9,7 +9,7 @@ sim::Engine::ProtocolSlot RandomGraphProtocol::install(
   GLAP_REQUIRE(config.degree > 0, "random graph degree must be positive");
   const std::size_t n = engine.node_count();
   Rng master(hash_combine(seed, hash_tag("random-graph")));
-  std::vector<std::unique_ptr<sim::Protocol>> instances;
+  std::vector<std::unique_ptr<RandomGraphProtocol>> instances;
   instances.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     std::vector<sim::NodeId> neighbors;
@@ -29,7 +29,9 @@ sim::Engine::ProtocolSlot RandomGraphProtocol::install(
     instances.push_back(std::make_unique<RandomGraphProtocol>(
         std::move(neighbors), master.split(i)));
   }
-  return engine.add_protocol_slot(std::move(instances));
+  const auto slot = engine.add_protocol_slot(std::move(instances));
+  engine.add_protocol_view<RandomGraphProtocol, NeighborProvider>(slot);
+  return slot;
 }
 
 std::optional<sim::NodeId> RandomGraphProtocol::sample_active_peer(

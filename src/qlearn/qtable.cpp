@@ -1,21 +1,11 @@
 #include "qlearn/qtable.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "common/assert.hpp"
 
 namespace glap::qlearn {
-
-double QTable::value(State s, Action a) const {
-  const auto it = values_.find(key_of(s, a));
-  return it == values_.end() ? 0.0 : it->second;
-}
-
-bool QTable::contains(State s, Action a) const {
-  return values_.contains(key_of(s, a));
-}
-
-void QTable::set(State s, Action a, double q) { values_[key_of(s, a)] = q; }
 
 void QTable::update(State s, Action a, double reward, State next,
                     const QLearningParams& params) {
@@ -23,20 +13,23 @@ void QTable::update(State s, Action a, double reward, State next,
                     "alpha out of [0,1]");
   GLAP_DEBUG_ASSERT(params.gamma >= 0.0 && params.gamma <= 1.0,
                     "gamma out of [0,1]");
-  const double old_q = value(s, a);
+  const Key k = key_of(s, a);
+  const double old_q = values_[k];  // 0.0 when absent, by invariant
   const double target = reward + params.gamma * max_value(next);
-  values_[key_of(s, a)] = (1.0 - params.alpha) * old_q + params.alpha * target;
+  mark_present(k);
+  values_[k] = (1.0 - params.alpha) * old_q + params.alpha * target;
 }
 
-double QTable::max_value(State s) const {
-  // The state's action row spans a contiguous key block.
+double QTable::max_value(State s) const noexcept {
+  // The state's action row is one contiguous 81-element block.
   const Key base = static_cast<Key>(s.index()) * kLevelPairCount;
   double best = 0.0;
   bool found = false;
   for (std::uint16_t a = 0; a < kLevelPairCount; ++a) {
-    const auto it = values_.find(base + a);
-    if (it == values_.end()) continue;
-    if (!found || it->second > best) best = it->second;
+    const Key k = base + a;
+    if (!present(k)) continue;
+    const double q = values_[k];
+    if (!found || q > best) best = q;
     found = true;
   }
   return found ? best : 0.0;
@@ -44,10 +37,11 @@ double QTable::max_value(State s) const {
 
 std::optional<Action> QTable::best_action(
     State s, const std::vector<Action>& available) const {
+  const Key base = static_cast<Key>(s.index()) * kLevelPairCount;
   std::optional<Action> best;
   double best_q = 0.0;
   for (const Action& a : available) {
-    const double q = value(s, a);
+    const double q = values_[base + a.index()];
     if (!best || q > best_q) {
       best = a;
       best_q = q;
@@ -56,35 +50,65 @@ std::optional<Action> QTable::best_action(
   return best;
 }
 
-void QTable::merge_average(const QTable& other) {
-  for (const auto& [key, q_other] : other.values_) {
-    auto it = values_.find(key);
-    if (it == values_.end())
-      values_.emplace(key, q_other);
-    else
-      it->second = 0.5 * (it->second + q_other);
+void QTable::merge_average(const QTable& other) noexcept {
+  // Walk the words of `other`'s presence bitmap: entries present in both
+  // tables average, entries only `other` has are adopted verbatim.
+  for (std::size_t w = 0; w < kWordCount; ++w) {
+    const std::uint64_t theirs = other.present_[w];
+    if (theirs == 0) continue;
+    const std::uint64_t mine = present_[w];
+    for (std::uint64_t pending = theirs; pending != 0;
+         pending &= pending - 1) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(pending));
+      const std::size_t k = w * 64 + bit;
+      values_[k] = (mine >> bit) & 1u
+                       ? 0.5 * (values_[k] + other.values_[k])
+                       : other.values_[k];
+    }
+    size_ += static_cast<std::uint32_t>(std::popcount(theirs & ~mine));
+    present_[w] = mine | theirs;
   }
 }
 
-std::vector<double> QTable::dense() const {
-  std::vector<double> out(kLevelPairCount * kLevelPairCount, 0.0);
-  for (const auto& [key, q] : values_) out[key] = q;
-  return out;
+CosineTerms cosine_terms(const QTable& a, const QTable& b) noexcept {
+  // Absent slots hold 0.0, so a single linear pass over the flat arrays
+  // computes the intersection dot product and both norms at once. Four
+  // independent accumulator chains per term (lane j sums elements
+  // k ≡ j mod 4, combined as (s0+s1)+(s2+s3)) break the FP-add latency
+  // chain without -ffast-math reassociation. That combine order is part
+  // of the kernel's deterministic result — the differential test's
+  // reference model replicates it exactly.
+  const auto& va = a.raw_values();
+  const auto& vb = b.raw_values();
+  // One pass per term: mixing the three reductions in one loop tempts the
+  // SLP vectorizer into shuffle-heavy code, while a lone product-reduce
+  // loop vectorizes cleanly. The arrays are ~52 KiB each, so three passes
+  // stay cache-resident.
+  const auto reduce = [](const double* x, const double* y) noexcept {
+    double acc[4] = {};
+    constexpr std::size_t kBlocked =
+        QTable::kEntryCount & ~std::size_t{3};
+    for (std::size_t k = 0; k < kBlocked; k += 4)
+      for (std::size_t j = 0; j < 4; ++j) acc[j] += x[k + j] * y[k + j];
+    double sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (std::size_t k = kBlocked; k < QTable::kEntryCount; ++k)
+      sum += x[k] * y[k];
+    return sum;
+  };
+  CosineTerms t;
+  t.dot = reduce(va.data(), vb.data());
+  t.norm_a = reduce(va.data(), va.data());
+  t.norm_b = reduce(vb.data(), vb.data());
+  return t;
 }
 
 double cosine_similarity(const QTable& a, const QTable& b) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (const auto& [key, qa] : a.entries()) {
-    na += qa * qa;
-    const auto it = b.entries().find(key);
-    if (it != b.entries().end()) dot += qa * it->second;
-  }
-  for (const auto& [key, qb] : b.entries()) nb += qb * qb;
-  if (na == 0.0 && nb == 0.0) return 1.0;
-  if (na == 0.0 || nb == 0.0) return 0.0;
-  return dot / (std::sqrt(na) * std::sqrt(nb));
+  const CosineTerms t = cosine_terms(a, b);
+  if (t.norm_a == 0.0 && t.norm_b == 0.0) return 1.0;
+  if (t.norm_a == 0.0 || t.norm_b == 0.0) return 0.0;
+  return t.dot / (std::sqrt(t.norm_a) * std::sqrt(t.norm_b));
 }
 
 }  // namespace glap::qlearn

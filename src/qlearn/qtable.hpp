@@ -1,16 +1,24 @@
-// Sparse Q-table over (PM-state, VM-action) pairs.
+// Sparse-semantics Q-table over (PM-state, VM-action) pairs, stored flat.
 //
-// Stores only visited pairs (the gossip aggregation phase unions sparse
-// maps, so sparsity is semantically meaningful: "no entry" means "this PM
-// never observed that pair", not "value zero"). Provides the Bellman
-// update from the paper's formula (1), greedy lookups restricted to an
-// available-action set, the pairwise merge of Algorithm 2, and the cosine
-// similarity used by the Fig. 5 convergence experiment.
+// The key space is tiny and fixed (81 states × 81 actions = 6561 pairs),
+// so the table keeps a dense row-major array of doubles plus a presence
+// bitmap (~52 KiB per table) instead of a hash map. Sparsity is still
+// semantically meaningful — the gossip aggregation phase unions sparse
+// tables, so "no entry" means "this PM never observed that pair", not
+// "value zero" — but presence is a bit test, the Bellman update (paper
+// formula (1)) is a branch-free store, greedy lookups scan one contiguous
+// 81-element row, and Algorithm 2's merge plus the Fig. 5 cosine metric
+// are single linear passes with no hashing anywhere.
+//
+// Invariant: slots whose presence bit is clear always hold 0.0, so
+// value() and the linear kernels never need to consult the bitmap.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <iterator>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "qlearn/levels.hpp"
@@ -26,6 +34,10 @@ class QTable {
  public:
   using Key = std::uint32_t;
 
+  /// Total (state, action) pairs: 81 × 81.
+  static constexpr std::size_t kEntryCount =
+      kLevelPairCount * kLevelPairCount;
+
   [[nodiscard]] static constexpr Key key_of(State s, Action a) noexcept {
     return static_cast<Key>(s.index()) * kLevelPairCount + a.index();
   }
@@ -37,12 +49,20 @@ class QTable {
   }
 
   /// Q(s, a); 0 when the pair has never been visited.
-  [[nodiscard]] double value(State s, Action a) const;
+  [[nodiscard]] double value(State s, Action a) const noexcept {
+    return values_[key_of(s, a)];
+  }
 
   /// Whether the pair has an entry.
-  [[nodiscard]] bool contains(State s, Action a) const;
+  [[nodiscard]] bool contains(State s, Action a) const noexcept {
+    return present(key_of(s, a));
+  }
 
-  void set(State s, Action a, double q);
+  void set(State s, Action a, double q) noexcept {
+    const Key k = key_of(s, a);
+    mark_present(k);
+    values_[k] = q;
+  }
 
   /// Bellman update (paper formula (1)):
   ///   Q(s,a) ← (1−α)·Q(s,a) + α·(R + γ·max_{a'} Q(s',a')).
@@ -51,7 +71,7 @@ class QTable {
               const QLearningParams& params);
 
   /// max_a Q(s, a) over known actions (0 when s has no entries).
-  [[nodiscard]] double max_value(State s) const;
+  [[nodiscard]] double max_value(State s) const noexcept;
 
   /// Greedy action restricted to `available` (π_out): the available action
   /// with the greatest Q(s, ·). Unknown pairs count as Q = 0. Returns
@@ -62,24 +82,114 @@ class QTable {
 
   /// Algorithm 2's UPDATE: average values present in both tables, adopt
   /// entries present in exactly one.
-  void merge_average(const QTable& other);
+  void merge_average(const QTable& other) noexcept;
 
-  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
-  void clear() noexcept { values_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  void clear() noexcept {
+    values_.fill(0.0);
+    present_.fill(0);
+    size_ = 0;
+  }
 
-  /// Iteration support for serialization/analysis.
-  [[nodiscard]] const std::unordered_map<Key, double>& entries()
+  /// Iteration support for serialization/analysis: a forward range of
+  /// (key, value) pairs over the *present* entries, in ascending key
+  /// order (stable output without sorting).
+  class EntryIterator {
+   public:
+    using value_type = std::pair<Key, double>;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    EntryIterator(const QTable* table, std::size_t key) noexcept
+        : table_(table), key_(key) {
+      skip_absent();
+    }
+    [[nodiscard]] value_type operator*() const noexcept {
+      return {static_cast<Key>(key_), table_->values_[key_]};
+    }
+    EntryIterator& operator++() noexcept {
+      ++key_;
+      skip_absent();
+      return *this;
+    }
+    EntryIterator operator++(int) noexcept {
+      EntryIterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    [[nodiscard]] friend bool operator==(const EntryIterator& a,
+                                         const EntryIterator& b) noexcept {
+      return a.key_ == b.key_;
+    }
+
+   private:
+    void skip_absent() noexcept {
+      while (key_ < kEntryCount && !table_->present(static_cast<Key>(key_)))
+        ++key_;
+    }
+    const QTable* table_;
+    std::size_t key_;
+  };
+
+  class EntryRange {
+   public:
+    explicit EntryRange(const QTable* table) noexcept : table_(table) {}
+    [[nodiscard]] EntryIterator begin() const noexcept {
+      return {table_, 0};
+    }
+    [[nodiscard]] EntryIterator end() const noexcept {
+      return {table_, kEntryCount};
+    }
+
+   private:
+    const QTable* table_;
+  };
+
+  [[nodiscard]] EntryRange entries() const noexcept {
+    return EntryRange{this};
+  }
+
+  /// Flat 6561-element value array (absent pairs hold 0.0). Backing store
+  /// for the vectorized merge/cosine kernels and dense().
+  [[nodiscard]] const std::array<double, kEntryCount>& raw_values()
       const noexcept {
     return values_;
   }
 
   /// Dense 6561-dim snapshot (unvisited pairs are 0).
-  [[nodiscard]] std::vector<double> dense() const;
+  [[nodiscard]] std::vector<double> dense() const {
+    return {values_.begin(), values_.end()};
+  }
 
  private:
-  std::unordered_map<Key, double> values_;
+  static constexpr std::size_t kWordCount = (kEntryCount + 63) / 64;
+
+  [[nodiscard]] bool present(Key k) const noexcept {
+    return (present_[k >> 6] >> (k & 63)) & 1u;
+  }
+  void mark_present(Key k) noexcept {
+    std::uint64_t& word = present_[k >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (k & 63);
+    size_ += static_cast<std::uint32_t>(!(word & bit));
+    word |= bit;
+  }
+
+  std::array<double, kEntryCount> values_{};
+  std::array<std::uint64_t, kWordCount> present_{};
+  std::uint32_t size_ = 0;
 };
+
+/// Dot product and squared norms over two tables' shared key space (one
+/// linear pass; absent entries contribute nothing). Building block for
+/// the Fig. 5 convergence metric here and in core::QTablePair.
+struct CosineTerms {
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+};
+[[nodiscard]] CosineTerms cosine_terms(const QTable& a,
+                                       const QTable& b) noexcept;
 
 /// Cosine similarity between two sparse tables over the union key space.
 /// Two empty tables are identical (1); one empty table scores 0.

@@ -1,9 +1,7 @@
 #include "qlearn/serialize.hpp"
 
-#include <algorithm>
 #include <istream>
 #include <ostream>
-#include <vector>
 
 #include "common/assert.hpp"
 #include "common/csv.hpp"
@@ -23,16 +21,13 @@ void save_qtable(const QTable& table, std::ostream& out) {
   CsvWriter writer(out);
   writer.write_row({"state_cpu", "state_mem", "action_cpu", "action_mem",
                     "q"});
-  std::vector<QTable::Key> keys;
-  keys.reserve(table.size());
-  for (const auto& [key, q] : table.entries()) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
-  for (const QTable::Key key : keys) {
+  // entries() iterates in ascending key order, so rows come out sorted
+  // (stable diffs) without an explicit sort.
+  for (const auto& [key, q] : table.entries()) {
     const State s = QTable::state_of(key);
     const Action a = QTable::action_of(key);
     char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g",
-                  table.value(s, a));
+    std::snprintf(buf, sizeof buf, "%.17g", q);
     writer.write_row({std::string(to_string(s.cpu)),
                       std::string(to_string(s.mem)),
                       std::string(to_string(a.cpu)),

@@ -22,7 +22,15 @@ Engine::ProtocolSlot Engine::add_protocol_slot(
   for (const auto& p : instances)
     GLAP_REQUIRE(p != nullptr, "null protocol instance");
   slots_.push_back(std::move(instances));
+  views_.emplace_back();
   return slots_.size() - 1;
+}
+
+const Engine::TypedView* Engine::find_view(ProtocolSlot slot,
+                                           TypeTag tag) const {
+  for (const TypedView& view : views_[slot])
+    if (view.tag == tag) return &view;
+  return nullptr;
 }
 
 void Engine::add_observer(Observer* observer) {

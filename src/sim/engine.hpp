@@ -11,8 +11,17 @@
 // node, then runs observers. Node status transitions (sleep for switched-
 // off PMs, wake, fail) are applied immediately and broadcast to the node's
 // protocol instances so overlays can drop dead links.
+//
+// Typed peer access is RTTI-free on the per-round path: each slot carries
+// cached typed-pointer views, registered eagerly when the slot is added
+// through the typed add_protocol_slot overload (and widened to interface
+// types via add_protocol_view). protocol_at serves from those caches with
+// a tag compare; dynamic_cast only runs on the cold first-access fallback
+// for slots installed through the type-erased overload, plus a debug-only
+// consistency check.
 #pragma once
 
+#include <concepts>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -25,6 +34,13 @@
 
 namespace glap::sim {
 
+namespace detail {
+/// One byte of static storage per distinct protocol type; its address is
+/// the type's identity (no RTTI, vague linkage merges it across TUs).
+template <typename T>
+inline constexpr char kProtocolTypeTag = 0;
+}  // namespace detail
+
 class Engine {
  public:
   using ProtocolSlot = std::size_t;
@@ -36,9 +52,47 @@ class Engine {
 
   /// Installs one protocol layer: `instances` must hold exactly one
   /// instance per node (index == NodeId). Returns the slot handle used to
-  /// reach peer instances.
+  /// reach peer instances. This type-erased overload registers no typed
+  /// view; the first protocol_at<T> on the slot resolves one lazily.
   ProtocolSlot add_protocol_slot(
       std::vector<std::unique_ptr<Protocol>> instances);
+
+  /// Typed overload: additionally caches the concrete per-node pointers so
+  /// protocol_at<T> never needs RTTI. Prefer this in protocol installers.
+  template <typename T>
+    requires(std::derived_from<T, Protocol> && !std::same_as<T, Protocol>)
+  ProtocolSlot add_protocol_slot(std::vector<std::unique_ptr<T>> instances) {
+    std::vector<std::unique_ptr<Protocol>> base;
+    base.reserve(instances.size());
+    std::vector<void*> ptrs;
+    ptrs.reserve(instances.size());
+    for (auto& p : instances) {
+      ptrs.push_back(p.get());
+      base.push_back(std::move(p));
+    }
+    const ProtocolSlot slot = add_protocol_slot(std::move(base));
+    views_[slot].push_back({type_tag<T>(), std::move(ptrs)});
+    return slot;
+  }
+
+  /// Widens an already-registered `Concrete` view to a base/interface
+  /// type, so protocol_at<As> is served from cache too (e.g. a Cyclon
+  /// slot viewed as overlay::NeighborProvider). Pure pointer adjustment —
+  /// no RTTI. No-op when the `As` view already exists.
+  template <typename Concrete, typename As>
+    requires std::derived_from<Concrete, As>
+  void add_protocol_view(ProtocolSlot slot) {
+    GLAP_REQUIRE(slot < slots_.size(), "protocol slot out of range");
+    const TypedView* source = find_view(slot, type_tag<Concrete>());
+    GLAP_REQUIRE(source != nullptr,
+                 "add_protocol_view needs the concrete view registered");
+    if (find_view(slot, type_tag<As>()) != nullptr) return;
+    std::vector<void*> ptrs;
+    ptrs.reserve(source->ptrs.size());
+    for (void* p : source->ptrs)
+      ptrs.push_back(static_cast<As*>(static_cast<Concrete*>(p)));
+    views_[slot].push_back({type_tag<As>(), std::move(ptrs)});
+  }
 
   /// Registers an observer (not owned). Observers run in add order.
   void add_observer(Observer* observer);
@@ -60,7 +114,8 @@ class Engine {
     return status_[node];
   }
   [[nodiscard]] bool is_active(NodeId node) const {
-    return status(node) == NodeStatus::kActive;
+    GLAP_HOT_REQUIRE(node < status_.size(), "node id out of range");
+    return status_[node] == NodeStatus::kActive;
   }
   [[nodiscard]] std::size_t active_count() const noexcept {
     return active_count_;
@@ -69,14 +124,20 @@ class Engine {
   /// Changes a node's status and notifies all of its protocol instances.
   void set_status(NodeId node, NodeStatus status);
 
-  /// Typed access to a protocol instance; T must match the installed type.
+  /// Typed access to a protocol instance; T must match the installed type
+  /// (or a registered view of it). Throws precondition_error on mismatch.
   template <typename T>
   [[nodiscard]] T& protocol_at(ProtocolSlot slot, NodeId node) {
-    GLAP_REQUIRE(slot < slots_.size(), "protocol slot out of range");
-    GLAP_REQUIRE(node < slots_[slot].size(), "node id out of range");
-    auto* typed = dynamic_cast<T*>(slots_[slot][node].get());
-    GLAP_REQUIRE(typed != nullptr, "protocol type mismatch for slot");
-    return *typed;
+    GLAP_HOT_REQUIRE(slot < slots_.size(), "protocol slot out of range");
+    GLAP_HOT_REQUIRE(node < slots_[slot].size(), "node id out of range");
+    for (const TypedView& view : views_[slot]) {
+      if (view.tag != type_tag<T>()) continue;
+      T* typed = static_cast<T*>(view.ptrs[node]);
+      GLAP_DEBUG_ASSERT(dynamic_cast<T*>(slots_[slot][node].get()) == typed,
+                        "cached protocol view out of sync");
+      return *typed;
+    }
+    return resolve_protocol_view<T>(slot, node);
   }
 
   [[nodiscard]] NetworkStats& network() noexcept { return network_; }
@@ -89,9 +150,44 @@ class Engine {
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
  private:
+  using TypeTag = const void*;
+
+  struct TypedView {
+    TypeTag tag;
+    std::vector<void*> ptrs;  ///< per-node pointers, already cast to T*
+  };
+
+  template <typename T>
+  [[nodiscard]] static TypeTag type_tag() noexcept {
+    return &detail::kProtocolTypeTag<T>;
+  }
+
+  [[nodiscard]] const TypedView* find_view(ProtocolSlot slot,
+                                           TypeTag tag) const;
+
+  /// Cold path: first protocol_at<T> on a slot with no cached T view
+  /// (slots installed through the type-erased overload). Resolves every
+  /// instance with one dynamic_cast, caches the view, and throws
+  /// precondition_error when the slot does not actually hold T.
+  template <typename T>
+  T& resolve_protocol_view(ProtocolSlot slot, NodeId node) {
+    GLAP_REQUIRE(slot < slots_.size(), "protocol slot out of range");
+    GLAP_REQUIRE(node < slots_[slot].size(), "node id out of range");
+    std::vector<void*> ptrs;
+    ptrs.reserve(slots_[slot].size());
+    for (const auto& p : slots_[slot]) {
+      T* typed = dynamic_cast<T*>(p.get());
+      GLAP_REQUIRE(typed != nullptr, "protocol type mismatch for slot");
+      ptrs.push_back(typed);
+    }
+    views_[slot].push_back({type_tag<T>(), std::move(ptrs)});
+    return *static_cast<T*>(views_[slot].back().ptrs[node]);
+  }
+
   std::vector<NodeStatus> status_;
   std::size_t active_count_;
   std::vector<std::vector<std::unique_ptr<Protocol>>> slots_;
+  std::vector<std::vector<TypedView>> views_;  ///< parallel to slots_
   std::vector<Observer*> observers_;
   std::vector<NodeId> order_;
   NetworkStats network_;

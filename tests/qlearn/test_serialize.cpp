@@ -71,6 +71,40 @@ TEST(Serialize, MalformedInputRejected) {
   EXPECT_THROW(load_qtable(bad_level), precondition_error);
 }
 
+// Golden-bytes test: the CSV wire format is a compatibility surface
+// (saved policies from older runs must keep loading), so pin the exact
+// serialized bytes for a fixed table and require load→save to reproduce
+// them identically. Any storage-layer change that reorders rows or
+// reformats values shows up here as a diff.
+TEST(Serialize, GoldenBytesRoundTripExactly) {
+  const std::string golden =
+      "state_cpu,state_mem,action_cpu,action_mem,q\n"
+      "Low,Low,Low,Low,2.5\n"
+      "Low,Medium,High,Overload,-0.75\n"
+      "xHigh,2xHigh,3xHigh,4xHigh,0.10000000000000001\n"
+      "Overload,Overload,5xHigh,xHigh,42\n";
+
+  // Insert in scrambled order; output must come out key-sorted.
+  QTable table;
+  table.set({Level::kOverload, Level::kOverload},
+            {Level::k5xHigh, Level::kXHigh}, 42.0);
+  table.set({Level::kLow, Level::kMedium},
+            {Level::kHigh, Level::kOverload}, -0.75);
+  table.set({Level::kXHigh, Level::k2xHigh},
+            {Level::k3xHigh, Level::k4xHigh}, 0.1);
+  table.set({Level::kLow, Level::kLow}, {Level::kLow, Level::kLow}, 2.5);
+
+  std::ostringstream saved;
+  save_qtable(table, saved);
+  EXPECT_EQ(saved.str(), golden);
+
+  std::istringstream in(golden);
+  const QTable loaded = load_qtable(in);
+  std::ostringstream resaved;
+  save_qtable(loaded, resaved);
+  EXPECT_EQ(resaved.str(), golden);
+}
+
 TEST(Serialize, PreservesExtremePrecision) {
   QTable table;
   table.set({Level::kLow, Level::kLow}, {Level::kLow, Level::kLow},
