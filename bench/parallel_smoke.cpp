@@ -1,0 +1,78 @@
+// Parallel-engine smoke check: runs a reduced 150-PM GLAP experiment on
+// the serial reference engine and on the wave-parallel engine with 4
+// threads, and exits non-zero unless every aggregate matches bit-for-bit.
+//
+// This is the multi-threaded workload the ThreadSanitizer CI stage drives
+// (see scripts/ci.sh); it doubles as a quick standalone determinism probe:
+//
+//   build/bench/parallel_smoke
+#include <cstdio>
+
+#include "harness/runner.hpp"
+
+namespace {
+
+using namespace glap;
+
+harness::ExperimentConfig smoke_config() {
+  harness::ExperimentConfig config;
+  config.algorithm = harness::Algorithm::kGlap;
+  config.pm_count = 150;
+  config.vm_ratio = 2;
+  config.warmup_rounds = 80;
+  config.rounds = 60;
+  config.seed = 11;
+  config.fit_glap_phases_to_warmup();
+  return config;
+}
+
+bool check(bool ok, const char* what) {
+  if (!ok) std::fprintf(stderr, "[parallel_smoke] MISMATCH: %s\n", what);
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  harness::ExperimentConfig config = smoke_config();
+
+  std::fprintf(stderr, "[parallel_smoke] serial reference run...\n");
+  const harness::RunResult serial = harness::run_experiment(config);
+
+  std::fprintf(stderr, "[parallel_smoke] parallel run (4 threads)...\n");
+  config.engine_threads = 4;
+  const harness::RunResult parallel = harness::run_experiment(config);
+
+  bool ok = true;
+  ok &= check(serial.total_migrations == parallel.total_migrations,
+              "total_migrations");
+  ok &= check(serial.migration_energy_j == parallel.migration_energy_j,
+              "migration_energy_j");
+  ok &= check(serial.total_energy_j == parallel.total_energy_j,
+              "total_energy_j");
+  ok &= check(serial.slav == parallel.slav, "slav");
+  ok &= check(serial.messages == parallel.messages, "messages");
+  ok &= check(serial.bytes == parallel.bytes, "bytes");
+  ok &= check(serial.final_active_pms == parallel.final_active_pms,
+              "final_active_pms");
+  ok &= check(serial.rounds.size() == parallel.rounds.size(), "round count");
+  if (ok) {
+    for (std::size_t r = 0; r < serial.rounds.size(); ++r) {
+      ok &= serial.rounds[r].active_pms == parallel.rounds[r].active_pms &&
+            serial.rounds[r].migrations_cum ==
+                parallel.rounds[r].migrations_cum;
+      if (!ok) {
+        std::fprintf(stderr, "[parallel_smoke] MISMATCH at round %zu\n", r);
+        break;
+      }
+    }
+  }
+
+  if (!ok) return 1;
+  std::printf(
+      "[parallel_smoke] OK: serial and 4-thread runs are bit-identical "
+      "(%llu migrations, %llu messages)\n",
+      static_cast<unsigned long long>(serial.total_migrations),
+      static_cast<unsigned long long>(serial.messages));
+  return 0;
+}

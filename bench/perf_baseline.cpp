@@ -8,10 +8,17 @@
 //
 //   build-release/bench/perf_baseline [label] >> /dev/stdout
 //
+// With --engine-scaling [label] it instead times GLAP rounds/sec on the
+// serial engine and the wave-parallel engine at 1/2/4/8 threads (150-PM
+// and 1000-PM clusters, reduced round counts) and emits the scaling
+// record collected in BENCH_engine.json.
+//
 // Build in Release (-O3); see scripts/ci.sh and README "Performance".
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -113,9 +120,69 @@ double time_end_to_end(double* out_rounds) {
   return total_rounds / elapsed;
 }
 
+/// Rounds/sec of a reduced GLAP run; engine_threads == 0 means the serial
+/// reference engine (parallel mode never enabled).
+double time_glap_rounds_per_sec(std::size_t pm_count, sim::Round warmup,
+                                sim::Round eval, std::size_t engine_threads) {
+  harness::ExperimentConfig config;
+  config.algorithm = harness::Algorithm::kGlap;
+  config.pm_count = pm_count;
+  config.warmup_rounds = warmup;
+  config.rounds = eval;
+  config.engine_threads = engine_threads > 0 ? engine_threads : 1;
+  config.fit_glap_phases_to_warmup();
+  const double total_rounds = static_cast<double>(warmup + eval);
+  const auto start = Clock::now();
+  const auto result = harness::run_experiment(config);
+  const double elapsed = seconds_since(start);
+  if (result.rounds.size() != config.rounds) std::abort();
+  return total_rounds / elapsed;
+}
+
+int run_engine_scaling(const std::string& label) {
+  struct Size {
+    const char* name;
+    std::size_t pms;
+    sim::Round warmup;
+    sim::Round eval;
+  };
+  // Reduced round counts keep the 5 runs per size tractable; scaling is
+  // a throughput ratio, so the window length does not bias it.
+  const Size sizes[] = {{"glap_150pm", 150, 200, 150},
+                        {"glap_1000pm", 1000, 100, 100}};
+  const std::size_t threads[] = {1, 2, 4, 8};
+
+  std::printf("{\n");
+  std::printf("  \"label\": \"%s\",\n", label.c_str());
+  std::printf("  \"host_hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  for (const Size& size : sizes) {
+    std::fprintf(stderr, "[perf_baseline] %s serial...\n", size.name);
+    const double serial =
+        time_glap_rounds_per_sec(size.pms, size.warmup, size.eval, 0);
+    std::printf("  \"%s_rounds\": %u,\n", size.name,
+                static_cast<unsigned>(size.warmup + size.eval));
+    std::printf("  \"%s_serial_rounds_per_sec\": %.2f,\n", size.name, serial);
+    for (std::size_t t : threads) {
+      std::fprintf(stderr, "[perf_baseline] %s threads=%zu...\n", size.name,
+                   t);
+      const double rps =
+          time_glap_rounds_per_sec(size.pms, size.warmup, size.eval, t);
+      std::printf("  \"%s_t%zu_rounds_per_sec\": %.2f,\n", size.name, t, rps);
+      std::printf("  \"%s_t%zu_speedup_vs_serial\": %.2f%s\n", size.name, t,
+                  rps / serial,
+                  (&size == &sizes[1] && t == threads[3]) ? "" : ",");
+    }
+  }
+  std::printf("}\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--engine-scaling") == 0)
+    return run_engine_scaling(argc > 2 ? argv[2] : "current");
   const std::string label = argc > 1 ? argv[1] : "current";
 
   std::fprintf(stderr, "[perf_baseline] qtable update...\n");

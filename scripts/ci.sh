@@ -8,6 +8,11 @@
 # GLAP_ENABLE_CHECKS=OFF so benchmarks measure the unchecked per-round
 # path. Runs bench/perf_baseline and prints its JSON line; compare
 # against the committed BENCH_qtable.json at the repo root.
+#
+# Stage 3 (thread safety, RUN_TSAN=1 to enable): ThreadSanitizer build;
+# runs the full ctest suite plus the multi-threaded 150-PM GLAP smoke
+# (bench/parallel_smoke) under TSan to catch data races in the
+# wave-parallel engine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,4 +30,13 @@ cmake --build build-release -j "$JOBS"
 if [[ "${RUN_BENCH:-1}" == "1" ]]; then
   echo "== bench: perf_baseline =="
   ./build-release/bench/perf_baseline "ci-$(git rev-parse --short HEAD 2>/dev/null || echo local)"
+fi
+
+if [[ "${RUN_TSAN:-1}" == "1" ]]; then
+  echo "== tsan: ThreadSanitizer build + ctest + parallel smoke =="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGLAP_TSAN=ON -DGLAP_ENABLE_CHECKS=ON
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+  ./build-tsan/bench/parallel_smoke
 fi

@@ -77,7 +77,13 @@ class PabfdManager final : public sim::Protocol {
                                            cloud::DataCenter& dc,
                                            sim::NodeId manager_node = 0);
 
-  void next_cycle(sim::Engine& engine, sim::NodeId self) override;
+  /// The manager node scans and mutates the whole data center, so it
+  /// declares a global footprint (the parallel engine runs it alone);
+  /// the inert stand-in instances touch nothing.
+  void select_peers(sim::Engine& engine, sim::NodeId self,
+                    sim::PeerSet& peers) override;
+  void execute(sim::Engine& engine, sim::NodeId self,
+               const sim::PeerSet& peers) override;
 
   /// Median absolute deviation (exposed for tests).
   [[nodiscard]] static double mad(std::vector<double> samples);

@@ -218,13 +218,50 @@ MigrationRecord DataCenter::migrate(VmId vm_id, PmId to) {
   usage_cache_[from] -= moving.current_usage();
   usage_cache_[to] += moving.current_usage();
 
-  sla_.record_migration(vm_id, moving.current_usage().cpu, tau);
-  migration_energy_j_ += energy;
-  ++migrations_this_round_;
-
   MigrationRecord record{vm_id, from, to, round_, tau, energy};
-  migrations_.push_back(record);
+  if (deferred_accounting_) {
+    exec::Context& ctx = exec::context();
+    deferred_log_[ctx.shard_slot].push_back(
+        {ctx.order_key, ctx.seq++, record, moving.current_usage().cpu});
+  } else {
+    apply_migration_accounting(record, moving.current_usage().cpu);
+  }
   return record;
+}
+
+void DataCenter::apply_migration_accounting(const MigrationRecord& record,
+                                            double vm_cpu_mips) {
+  sla_.record_migration(record.vm, vm_cpu_mips, record.tau_seconds);
+  migration_energy_j_ += record.energy_joules;
+  ++migrations_this_round_;
+  migrations_.push_back(record);
+}
+
+void DataCenter::set_deferred_accounting(bool enabled) {
+  deferred_accounting_ = enabled;
+  if (enabled && deferred_log_.empty())
+    deferred_log_.resize(exec::kShardCount);
+}
+
+void DataCenter::commit_deferred_accounting() {
+  if (deferred_log_.empty()) return;
+  commit_scratch_.clear();
+  for (auto& shard : deferred_log_) {
+    commit_scratch_.insert(commit_scratch_.end(), shard.begin(), shard.end());
+    shard.clear();
+  }
+  if (commit_scratch_.empty()) return;
+  // (order_key, seq) is the serial execution order: order_key is the
+  // interaction's rank in the round permutation and seq its mutation
+  // index, so the replay reproduces the serial engine's accounting —
+  // including the floating-point summation order — exactly.
+  std::sort(commit_scratch_.begin(), commit_scratch_.end(),
+            [](const DeferredMigration& a, const DeferredMigration& b) {
+              return a.order_key != b.order_key ? a.order_key < b.order_key
+                                                : a.seq < b.seq;
+            });
+  for (const DeferredMigration& d : commit_scratch_)
+    apply_migration_accounting(d.record, d.vm_cpu_mips);
 }
 
 void DataCenter::set_power(PmId id, PmPower power) {
@@ -234,9 +271,9 @@ void DataCenter::set_power(PmId id, PmPower power) {
     GLAP_REQUIRE(target.empty(), "cannot sleep a pm that still hosts vms");
   target.set_power(power);
   if (power == PmPower::kSleep)
-    --active_pms_;
+    active_pms_.decrement();
   else
-    ++active_pms_;
+    active_pms_.increment();
 }
 
 void DataCenter::observe_demands(std::span<const Resources> fractions) {

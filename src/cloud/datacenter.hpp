@@ -10,6 +10,7 @@
 // and set_power(), so every placement invariant is enforced in one place.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <span>
 #include <vector>
@@ -18,9 +19,31 @@
 #include "cloud/pm.hpp"
 #include "cloud/sla.hpp"
 #include "cloud/vm.hpp"
+#include "common/exec_context.hpp"
 #include "common/rng.hpp"
 
 namespace glap::cloud {
+
+/// Relaxed atomic counter that stays copyable/movable so DataCenter keeps
+/// value semantics. Copies happen only at quiescent points (construction,
+/// test fixtures) where no concurrent mutation is possible.
+class RelaxedCounter {
+ public:
+  RelaxedCounter(std::size_t v = 0) noexcept : v_(v) {}  // NOLINT(runtime/explicit)
+  RelaxedCounter(const RelaxedCounter& o) noexcept : v_(o.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) noexcept {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  [[nodiscard]] std::size_t load() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void increment() noexcept { v_.fetch_add(1, std::memory_order_relaxed); }
+  void decrement() noexcept { v_.fetch_sub(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::size_t> v_;
+};
 
 struct DataCenterConfig {
   /// Specs used by the homogeneous constructor, and the reference PM
@@ -100,7 +123,7 @@ class DataCenter {
 
   /// Number of PMs that are powered on.
   [[nodiscard]] std::size_t active_pm_count() const noexcept {
-    return active_pms_;
+    return active_pms_.load();
   }
   /// Number of powered-on PMs currently overloaded.
   [[nodiscard]] std::size_t overloaded_pm_count() const;
@@ -116,6 +139,23 @@ class DataCenter {
 
   /// Powers a PM on/off. Sleeping requires the PM to be empty.
   void set_power(PmId id, PmPower power);
+
+  /// Deferred accounting mode for the parallel engine: migrate() still
+  /// applies placement mutations immediately (they are protected by the
+  /// engine's reservations), but the order-sensitive accounting — SLA
+  /// degradation, the floating-point migration-energy sum, the migration
+  /// record list — is logged per execution shard and replayed in serial
+  /// order by commit_deferred_accounting(). This keeps those sums
+  /// bit-identical to the serial engine regardless of thread scheduling.
+  void set_deferred_accounting(bool enabled);
+  [[nodiscard]] bool deferred_accounting() const noexcept {
+    return deferred_accounting_;
+  }
+
+  /// Replays deferred accounting in (order_key, seq) order — exactly the
+  /// serial execution order. Call at a quiescent point (the harness calls
+  /// it after every engine step). No-op when nothing is deferred.
+  void commit_deferred_accounting();
 
   // ------------------------------------------------------- round protocol
 
@@ -155,13 +195,27 @@ class DataCenter {
  private:
   [[nodiscard]] Pm& pm_mutable(PmId id);
 
+  struct DeferredMigration {
+    std::uint64_t order_key;  ///< serial rank of the initiating interaction
+    std::uint32_t seq;        ///< mutation index within that interaction
+    MigrationRecord record;
+    double vm_cpu_mips;  ///< CPU usage at migration time (SLA input)
+  };
+
+  void apply_migration_accounting(const MigrationRecord& record,
+                                  double vm_cpu_mips);
+
   DataCenterConfig config_;
   std::vector<Pm> pms_;
   std::vector<Vm> vms_;
   std::vector<PmId> host_of_;
   std::size_t placed_vms_ = 0;
   std::vector<Resources> usage_cache_;  // per-PM aggregate current usage
-  std::size_t active_pms_;
+  RelaxedCounter active_pms_;
+  bool deferred_accounting_ = false;
+  /// One log per exec shard; threads append lock-free to their own shard.
+  std::vector<std::vector<DeferredMigration>> deferred_log_;
+  std::vector<DeferredMigration> commit_scratch_;
   std::vector<MigrationRecord> migrations_;
   std::uint64_t migrations_this_round_ = 0;
   double migration_energy_j_ = 0.0;

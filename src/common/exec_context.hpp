@@ -1,0 +1,36 @@
+// Thread-local execution context for the parallel simulation engine.
+//
+// The engine runs deterministic waves of node interactions on a ThreadPool.
+// Code that accumulates side effects from inside those interactions (network
+// message counters, deferred migration accounting) must do so without locks
+// and without introducing scheduling-dependent ordering.  The context gives
+// every thread a stable shard slot for per-thread accumulators, and carries
+// the serial rank of the interaction currently executing so deferred effects
+// can be replayed in exact serial order afterwards.
+#pragma once
+
+#include <cstdint>
+
+namespace glap::exec {
+
+/// Number of side-effect shards.  Slot 0 is reserved for threads that are not
+/// pool workers (the main/driver thread); pool workers occupy slots 1..63, so
+/// a parallel engine is capped at kShardCount - 1 worker threads.
+inline constexpr std::uint32_t kShardCount = 64;
+
+struct Context {
+  /// Which accumulator shard this thread writes to (0 = non-pool thread).
+  std::uint32_t shard_slot = 0;
+  /// Serial rank of the initiator whose interaction is currently executing.
+  /// Deferred side effects sort on (order_key, seq) to recover serial order.
+  std::uint64_t order_key = 0;
+  /// Per-interaction mutation counter (reset by the engine per initiator).
+  std::uint32_t seq = 0;
+};
+
+[[nodiscard]] inline Context& context() noexcept {
+  thread_local Context ctx;
+  return ctx;
+}
+
+}  // namespace glap::exec

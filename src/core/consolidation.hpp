@@ -49,7 +49,10 @@ class GlapConsolidationProtocol final : public sim::Protocol {
       sim::Engine::ProtocolSlot learning_slot, std::uint64_t seed,
       const cloud::RackTopology* topology = nullptr);
 
-  void next_cycle(sim::Engine& engine, sim::NodeId self) override;
+  void select_peers(sim::Engine& engine, sim::NodeId self,
+                    sim::PeerSet& peers) override;
+  void execute(sim::Engine& engine, sim::NodeId self,
+               const sim::PeerSet& peers) override;
 
   [[nodiscard]] const ConsolidationStats& stats() const noexcept {
     return stats_;

@@ -117,6 +117,11 @@ struct ExperimentConfig {
 
   std::uint64_t seed = 42;
 
+  /// Engine execution threads. 1 = the serial reference engine; >1 runs
+  /// rounds as deterministic reservation waves on a thread pool — results
+  /// are bit-identical to serial for any thread count (see DESIGN.md).
+  std::size_t engine_threads = 1;
+
   /// Rack topology: 0 disables (no racks, no switch accounting). When
   /// set, PMs are grouped into racks of this size, active top-of-rack
   /// switches are metered, and GLAP may use glap.rack_affinity.

@@ -100,6 +100,12 @@ RunResult run_experiment(const ExperimentConfig& config) {
   dc.place_randomly(placement_rng);
 
   sim::Engine engine(config.pm_count, config.seed);
+  if (config.engine_threads > 1) {
+    engine.enable_parallel_execution(config.engine_threads);
+    // Order-sensitive accounting is logged per shard during the round and
+    // replayed in serial order at the quiescent point after each step.
+    dc.set_deferred_accounting(true);
+  }
 
   std::optional<cloud::RackTopology> topology;
   if (config.rack_size > 0)
@@ -243,6 +249,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
     advance_demands();
     if (!baseline_idles_in_warmup) {
       engine.step();
+      dc.commit_deferred_accounting();
       if (config.track_convergence && glap_slots)
         result.convergence.push_back(
             sample_convergence(engine, glap_slots->learning,
@@ -261,6 +268,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
     churn_step();
     maybe_relearn();
     engine.step();
+    dc.commit_deferred_accounting();
 
     RoundSample sample;
     sample.round = r;

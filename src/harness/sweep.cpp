@@ -1,7 +1,5 @@
 #include "harness/sweep.hpp"
 
-#include <mutex>
-
 namespace glap::harness {
 
 PercentileSummary CellResult::pooled_round_summary(
@@ -40,29 +38,19 @@ std::vector<CellResult> run_cells(const std::vector<ExperimentConfig>& cells,
                                   std::size_t repetitions, ThreadPool& pool) {
   GLAP_REQUIRE(repetitions > 0, "need at least one repetition");
   std::vector<CellResult> results(cells.size());
-  std::vector<std::future<void>> futures;
-  futures.reserve(cells.size() * repetitions);
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
   for (std::size_t c = 0; c < cells.size(); ++c) {
     results[c].config = cells[c];
     results[c].runs.resize(repetitions);
-    for (std::size_t rep = 0; rep < repetitions; ++rep) {
-      futures.push_back(pool.submit([&, c, rep] {
-        try {
-          ExperimentConfig config = cells[c];
-          config.seed = cells[c].seed + rep;
-          results[c].runs[rep] = run_experiment(config);
-        } catch (...) {
-          std::lock_guard lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-      }));
-    }
   }
-  for (auto& f : futures) f.get();
-  if (first_error) std::rethrow_exception(first_error);
+  // One flat index space over cells × repetitions so a straggler cell
+  // cannot serialize the tail; parallel_for also owns error propagation.
+  parallel_for(pool, cells.size() * repetitions, [&](std::size_t i) {
+    const std::size_t c = i / repetitions;
+    const std::size_t rep = i % repetitions;
+    ExperimentConfig config = cells[c];
+    config.seed = cells[c].seed + rep;
+    results[c].runs[rep] = run_experiment(config);
+  });
   return results;
 }
 

@@ -87,29 +87,34 @@ void CyclonProtocol::remove_neighbor(sim::NodeId peer) {
   std::erase_if(cache_, [&](const Entry& e) { return e.id == peer; });
 }
 
-std::vector<CyclonProtocol::Entry> CyclonProtocol::take_random_subset(
-    std::size_t count, std::optional<std::size_t> forced) {
+void CyclonProtocol::take_random_subset(std::size_t count,
+                                        std::optional<std::size_t> forced,
+                                        std::vector<Entry>& out) {
   // Selects up to `count` random entries (always including `forced` when
   // given) and removes them from the cache; merge() re-inserts survivors.
-  std::vector<Entry> subset;
-  if (cache_.empty() || count == 0) return subset;
-  std::vector<std::size_t> indices(cache_.size());
-  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-  rng_.shuffle(indices);
+  out.clear();
+  if (cache_.empty() || count == 0) return;
+  scratch_indices_.resize(cache_.size());
+  for (std::size_t i = 0; i < scratch_indices_.size(); ++i)
+    scratch_indices_[i] = i;
+  rng_.shuffle(scratch_indices_);
   if (forced) {
-    auto it = std::find(indices.begin(), indices.end(), *forced);
-    GLAP_DEBUG_ASSERT(it != indices.end(), "forced index missing");
-    std::iter_swap(indices.begin(), it);
+    auto it =
+        std::find(scratch_indices_.begin(), scratch_indices_.end(), *forced);
+    GLAP_DEBUG_ASSERT(it != scratch_indices_.end(), "forced index missing");
+    std::iter_swap(scratch_indices_.begin(), it);
   }
-  const std::size_t take = std::min(count, indices.size());
-  std::vector<std::size_t> chosen(indices.begin(), indices.begin() + take);
-  std::sort(chosen.begin(), chosen.end(), std::greater<>());
-  subset.reserve(take);
-  for (std::size_t idx : chosen) {
-    subset.push_back(cache_[idx]);
+  const std::size_t take = std::min(count, scratch_indices_.size());
+  // Descending erase order so earlier removals don't shift later indices.
+  std::sort(scratch_indices_.begin(),
+            scratch_indices_.begin() + static_cast<std::ptrdiff_t>(take),
+            std::greater<>());
+  out.reserve(take);
+  for (std::size_t k = 0; k < take; ++k) {
+    const std::size_t idx = scratch_indices_[k];
+    out.push_back(cache_[idx]);
     cache_.erase(cache_.begin() + static_cast<std::ptrdiff_t>(idx));
   }
-  return subset;
 }
 
 void CyclonProtocol::merge(sim::NodeId self, const std::vector<Entry>& received,
@@ -136,21 +141,54 @@ void CyclonProtocol::merge(sim::NodeId self, const std::vector<Entry>& received,
   }
 }
 
-std::vector<CyclonProtocol::Entry> CyclonProtocol::handle_shuffle(
+const std::vector<CyclonProtocol::Entry>& CyclonProtocol::handle_shuffle(
     sim::NodeId self, sim::NodeId initiator,
     const std::vector<Entry>& received) {
-  auto reply = take_random_subset(config_.shuffle_length, std::nullopt);
+  take_random_subset(config_.shuffle_length, std::nullopt, scratch_reply_);
   // The passive node may keep a fresh pointer back to the initiator.
-  std::vector<Entry> incoming = received;
+  scratch_incoming_.assign(received.begin(), received.end());
   const bool has_initiator =
-      std::any_of(incoming.begin(), incoming.end(),
+      std::any_of(scratch_incoming_.begin(), scratch_incoming_.end(),
                   [&](const Entry& e) { return e.id == initiator; });
-  if (!has_initiator) incoming.push_back({initiator, 0});
-  merge(self, incoming, reply);
-  return reply;
+  if (!has_initiator) scratch_incoming_.push_back({initiator, 0});
+  merge(self, scratch_incoming_, scratch_reply_);
+  return scratch_reply_;
 }
 
-void CyclonProtocol::next_cycle(sim::Engine& engine, sim::NodeId self) {
+void CyclonProtocol::select_peers(sim::Engine& engine, sim::NodeId /*self*/,
+                                  sim::PeerSet& peers) {
+  GLAP_ASSERT(slot_known_, "cyclon used before install()");
+  // Everything execute() may touch: status probes on (and pruning of) the
+  // own cache entries, the shuffle partner, and — because later protocol
+  // slots sample from the post-shuffle cache — the partner's entries,
+  // which are the only ids that can enter the cache this round (the reply
+  // is drawn from the partner's pre-merge cache).
+  for (const Entry& e : cache_) peers.add(e.id);
+  // Dry-run the partner choice on a scratch copy: uniform aging preserves
+  // the oldest-entry argmax and no RNG is consumed before the partner is
+  // fixed, so this replicates execute()'s retry loop exactly without
+  // mutating the cache or the RNG stream.
+  scratch_select_.assign(cache_.begin(), cache_.end());
+  for (std::size_t attempt = 0;
+       attempt <= config_.dead_peer_retries && !scratch_select_.empty();
+       ++attempt) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < scratch_select_.size(); ++i)
+      if (scratch_select_[i].age > scratch_select_[best].age) best = i;
+    const sim::NodeId peer = scratch_select_[best].id;
+    if (!engine.is_active(peer)) {
+      scratch_select_.erase(scratch_select_.begin() +
+                            static_cast<std::ptrdiff_t>(best));
+      continue;
+    }
+    const auto& remote = engine.protocol_at<CyclonProtocol>(slot_, peer);
+    for (const Entry& e : remote.cache()) peers.add(e.id);
+    return;
+  }
+}
+
+void CyclonProtocol::execute(sim::Engine& engine, sim::NodeId self,
+                             const sim::PeerSet& /*peers*/) {
   GLAP_ASSERT(slot_known_, "cyclon used before install()");
   for (auto& entry : cache_) ++entry.age;
 
@@ -164,14 +202,16 @@ void CyclonProtocol::next_cycle(sim::Engine& engine, sim::NodeId self) {
       cache_.erase(cache_.begin() + static_cast<std::ptrdiff_t>(*oldest));
       continue;
     }
-    auto sent = take_random_subset(config_.shuffle_length - 1, std::nullopt);
-    std::vector<Entry> outgoing = sent;
-    outgoing.push_back({self, 0});
-    engine.network().count_message(self, peer, outgoing.size() * kEntryBytes);
+    take_random_subset(config_.shuffle_length - 1, std::nullopt,
+                       scratch_sent_);
+    scratch_outgoing_.assign(scratch_sent_.begin(), scratch_sent_.end());
+    scratch_outgoing_.push_back({self, 0});
+    engine.network().count_message(self, peer,
+                                   scratch_outgoing_.size() * kEntryBytes);
     auto& remote = engine.protocol_at<CyclonProtocol>(slot_, peer);
-    const auto reply = remote.handle_shuffle(peer, self, outgoing);
+    const auto& reply = remote.handle_shuffle(peer, self, scratch_outgoing_);
     engine.network().count_message(peer, self, reply.size() * kEntryBytes);
-    merge(self, reply, sent);
+    merge(self, reply, scratch_sent_);
     return;
   }
 }
@@ -193,6 +233,11 @@ std::vector<sim::NodeId> CyclonProtocol::neighbor_view() const {
   ids.reserve(cache_.size());
   for (const auto& e : cache_) ids.push_back(e.id);
   return ids;
+}
+
+void CyclonProtocol::append_peer_candidates(sim::PeerSet& out) const {
+  // sample_active_peer only ever probes current cache entries.
+  for (const Entry& e : cache_) out.add(e.id);
 }
 
 }  // namespace glap::overlay

@@ -42,17 +42,25 @@ class CyclonProtocol final : public NeighborProvider {
                                            const CyclonConfig& config,
                                            std::uint64_t seed);
 
-  void next_cycle(sim::Engine& engine, sim::NodeId self) override;
+  void select_peers(sim::Engine& engine, sim::NodeId self,
+                    sim::PeerSet& peers) override;
+  void execute(sim::Engine& engine, sim::NodeId self,
+               const sim::PeerSet& peers) override;
 
   std::optional<sim::NodeId> sample_active_peer(sim::Engine& engine,
                                                 sim::NodeId self) override;
 
   [[nodiscard]] std::vector<sim::NodeId> neighbor_view() const override;
 
+  void append_peer_candidates(sim::PeerSet& out) const override;
+
   /// Passive side of a shuffle: merges the initiator's subset and returns
-  /// a random subset of (up to) shuffle_length local entries.
-  std::vector<Entry> handle_shuffle(sim::NodeId self, sim::NodeId initiator,
-                                    const std::vector<Entry>& received);
+  /// a random subset of (up to) shuffle_length local entries. The returned
+  /// reference aliases an internal scratch buffer that stays valid until
+  /// this instance's next handle_shuffle call.
+  const std::vector<Entry>& handle_shuffle(sim::NodeId self,
+                                           sim::NodeId initiator,
+                                           const std::vector<Entry>& received);
 
   /// Seeds the cache (bootstrap); ignores self-links and duplicates.
   void bootstrap(sim::NodeId self, const std::vector<sim::NodeId>& neighbors);
@@ -69,14 +77,24 @@ class CyclonProtocol final : public NeighborProvider {
   void merge(sim::NodeId self, const std::vector<Entry>& received,
              const std::vector<Entry>& sent);
   [[nodiscard]] std::optional<std::size_t> oldest_entry_index() const;
-  std::vector<Entry> take_random_subset(std::size_t count,
-                                        std::optional<std::size_t> forced);
+  void take_random_subset(std::size_t count,
+                          std::optional<std::size_t> forced,
+                          std::vector<Entry>& out);
 
   CyclonConfig config_;
   Rng rng_;
   std::vector<Entry> cache_;
   sim::Engine::ProtocolSlot slot_ = 0;
   bool slot_known_ = false;
+
+  // Scratch buffers reused across rounds: the shuffle exchange used to
+  // allocate fresh vectors on both sides every round.
+  std::vector<std::size_t> scratch_indices_;
+  std::vector<Entry> scratch_sent_;      ///< initiator: subset shipped out
+  std::vector<Entry> scratch_outgoing_;  ///< initiator: sent + own entry
+  std::vector<Entry> scratch_reply_;     ///< passive side: reply subset
+  std::vector<Entry> scratch_incoming_;  ///< passive side: received + link
+  std::vector<Entry> scratch_select_;    ///< select_peers dry-run copy
 
   friend struct CyclonInstaller;
 };

@@ -1,14 +1,36 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 namespace glap::sim {
+
+namespace {
+
+/// First-wave batch size; later waves adapt to 2x the previous winner
+/// count so a heavily conflicting round does not re-select hundreds of
+/// nodes per wave, while a conflict-free round drains quickly.
+constexpr std::size_t kMinWaveBatch = 64;
+
+/// Reservation word for a claimant of rank `rank` in wave `stamp`: the
+/// stamp occupies the high half so words from earlier waves always lose,
+/// and the rank is stored inverted so fetch-max keeps the LOWEST rank.
+[[nodiscard]] constexpr std::uint64_t claim_word(std::uint32_t stamp,
+                                                 std::uint32_t rank) noexcept {
+  return (static_cast<std::uint64_t>(stamp) << 32) |
+         (0xFFFFFFFFu - static_cast<std::uint64_t>(rank));
+}
+
+}  // namespace
 
 Engine::Engine(std::size_t node_count, std::uint64_t seed)
     : status_(node_count, NodeStatus::kActive),
       active_count_(node_count),
       order_(node_count),
-      rng_(hash_combine(seed, hash_tag("engine"))) {
+      order_keys_(node_count),
+      rng_(hash_combine(seed, hash_tag("engine"))),
+      order_seed_(hash_combine(seed, hash_tag("order"))),
+      owner_(node_count) {
   GLAP_REQUIRE(node_count > 0, "engine needs at least one node");
   GLAP_REQUIRE(node_count < static_cast<std::size_t>(kInvalidNode),
                "too many nodes");
@@ -26,10 +48,29 @@ Engine::ProtocolSlot Engine::add_protocol_slot(
   return slots_.size() - 1;
 }
 
+void Engine::append_view(ProtocolSlot slot, TypeTag tag,
+                         std::vector<void*> ptrs) {
+  std::lock_guard lock(views_mutex_);
+  append_view_locked(slot, tag, std::move(ptrs));
+}
+
+void Engine::append_view_locked(ProtocolSlot slot, TypeTag tag,
+                                std::vector<void*> ptrs) {
+  SlotViews& views = views_[slot];
+  const std::size_t count = views.count.load(std::memory_order_relaxed);
+  GLAP_REQUIRE(count < SlotViews::kMaxViews,
+               "too many typed views registered on one protocol slot");
+  views.entries[count].tag = tag;
+  views.entries[count].ptrs = std::move(ptrs);
+  views.count.store(count + 1, std::memory_order_release);
+}
+
 const Engine::TypedView* Engine::find_view(ProtocolSlot slot,
                                            TypeTag tag) const {
-  for (const TypedView& view : views_[slot])
-    if (view.tag == tag) return &view;
+  const SlotViews& views = views_[slot];
+  const std::size_t count = views.count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i)
+    if (views.entries[i].tag == tag) return &views.entries[i];
   return nullptr;
 }
 
@@ -38,28 +79,176 @@ void Engine::add_observer(Observer* observer) {
   observers_.push_back(observer);
 }
 
+void Engine::enable_parallel_execution(std::size_t threads) {
+  GLAP_REQUIRE(threads >= 1, "parallel execution needs at least one thread");
+  threads_ = std::min<std::size_t>(threads, exec::kShardCount - 1);
+  parallel_ = true;
+  peer_sets_.resize(node_count());
+  rank_.resize(node_count());
+  pending_.reserve(node_count());
+  if (threads_ > 1 && !pool_)
+    pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
 void Engine::set_status(NodeId node, NodeStatus status) {
   GLAP_REQUIRE(node < status_.size(), "node id out of range");
   const NodeStatus old = status_[node];
   if (old == status) return;
   GLAP_REQUIRE(old != NodeStatus::kFailed, "failed nodes cannot transition");
   status_[node] = status;
-  if (old == NodeStatus::kActive) --active_count_;
-  if (status == NodeStatus::kActive) ++active_count_;
+  if (old == NodeStatus::kActive)
+    active_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (status == NodeStatus::kActive)
+    active_count_.fetch_add(1, std::memory_order_relaxed);
   for (auto& slot : slots_)
     slot[node]->on_status_change(*this, node, status);
 }
 
-void Engine::step() {
-  rng_.shuffle(order_);
-  for (NodeId node : order_) {
+void Engine::compute_round_order() {
+  // Counter-based hash rank: a deterministic permutation per (seed, round)
+  // that both execution modes share, independent of any RNG stream state.
+  const std::uint64_t round_seed = hash_combine(order_seed_, round_);
+  for (std::size_t node = 0; node < order_keys_.size(); ++node)
+    order_keys_[node] = hash_combine(round_seed, node);
+  std::sort(order_.begin(), order_.end(), [this](NodeId a, NodeId b) {
+    return order_keys_[a] != order_keys_[b] ? order_keys_[a] < order_keys_[b]
+                                            : a < b;
+  });
+}
+
+void Engine::execute_node(NodeId node, std::size_t rank,
+                          const PeerSet& peers) {
+  exec::Context& ctx = exec::context();
+  ctx.order_key = rank;
+  ctx.seq = 0;
+  for (auto& slot : slots_) {
+    // A protocol earlier in the stack may have put this node to sleep
+    // (e.g. consolidation switched the PM off mid-round).
+    if (status_[node] != NodeStatus::kActive) break;
+    slot[node]->execute(*this, node, peers);
+  }
+}
+
+void Engine::run_parallel(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  if (pool_ && n > 1) {
+    parallel_for(*pool_, n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+void Engine::claim(std::uint64_t word, NodeId target) noexcept {
+  // fetch-max via CAS loop; relaxed is enough because the selection and
+  // scan phases are separated by the pool's completion barrier.
+  std::atomic<std::uint64_t>& slot = owner_[target];
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < word && !slot.compare_exchange_weak(
+                           cur, word, std::memory_order_relaxed)) {
+  }
+}
+
+bool Engine::owns(std::uint64_t word, NodeId target) const noexcept {
+  return owner_[target].load(std::memory_order_relaxed) == word;
+}
+
+void Engine::run_round_serial() {
+  static const PeerSet kNoPeers;
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    const NodeId node = order_[i];
     if (status_[node] != NodeStatus::kActive) continue;
-    for (auto& slot : slots_) {
-      // A protocol earlier in the stack may have put this node to sleep
-      // (e.g. consolidation switched the PM off mid-round).
-      if (status_[node] != NodeStatus::kActive) break;
-      slot[node]->next_cycle(*this, node);
+    execute_node(node, i, kNoPeers);
+  }
+}
+
+void Engine::run_round_waves() {
+  const std::size_t n = node_count();
+  for (std::size_t i = 0; i < n; ++i)
+    rank_[order_[i]] = static_cast<std::uint32_t>(i);
+  for (auto& word : owner_) word.store(0, std::memory_order_relaxed);
+  pending_.assign(order_.begin(), order_.end());
+
+  std::size_t begin = 0;  // pending_[0, begin) has executed
+  std::size_t last_winners = kMinWaveBatch;
+  std::uint32_t wave_stamp = 0;  // < node_count waves per round, no wrap
+  while (begin < pending_.size()) {
+    ++wave_stamp;
+    const std::size_t remaining = pending_.size() - begin;
+    const std::size_t batch = std::min(
+        remaining, std::max<std::size_t>(kMinWaveBatch, 2 * last_winners));
+
+    // Phase 1 (parallel): the lowest-ranked pending nodes declare their
+    // footprint and stake reservations. Selection is pure, so a node that
+    // loses here simply re-selects next wave against the updated state.
+    run_parallel(batch, [&](std::size_t i) {
+      const NodeId node = pending_[begin + i];
+      PeerSet& peers = peer_sets_[node];
+      peers.clear();
+      if (status_[node] == NodeStatus::kActive) {
+        for (auto& slot : slots_) slot[node]->select_peers(*this, node, peers);
+      }
+      if (!peers.global()) {
+        const std::uint64_t word = claim_word(wave_stamp, rank_[node]);
+        claim(word, node);
+        for (NodeId id : peers.ids()) claim(word, id);
+      }
+    });
+
+    // Phase 2 (serial scan): accept the maximal *prefix* of the batch
+    // whose reservations fully held. The prefix rule is what guarantees
+    // serial equivalence — every winner sees exactly the state the serial
+    // rank-order run would have produced, because everything ranked below
+    // it has already retired and nothing ranked above it may touch its
+    // reserved nodes this wave.
+    std::size_t winners = 0;
+    bool executed_inline = false;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const NodeId node = pending_[begin + i];
+      const PeerSet& peers = peer_sets_[node];
+      if (peers.global()) {
+        // Unbounded footprint: run it alone, inline on the driver, with
+        // no other interaction in flight (the barrier above guarantees
+        // quiescence). Only valid as the lowest-ranked pending node.
+        if (i == 0) {
+          execute_node(node, rank_[node], peers);
+          winners = 1;
+          executed_inline = true;
+        }
+        break;
+      }
+      const std::uint64_t word = claim_word(wave_stamp, rank_[node]);
+      bool owned = owns(word, node);
+      for (NodeId id : peers.ids()) {
+        if (!owned) break;
+        owned = owns(word, id);
+      }
+      if (!owned) break;
+      ++winners;
     }
+    // The lowest-ranked pending node always wins its reservations (no one
+    // outranks it in the batch), so every wave retires at least one node.
+    GLAP_ASSERT(winners > 0, "parallel wave made no progress");
+
+    // Phase 3 (parallel): execute the winning prefix. Reserved sets are
+    // pairwise disjoint in effect (each reserved node is owned by exactly
+    // one winner), so winners never touch shared state.
+    if (!executed_inline) {
+      run_parallel(winners, [&](std::size_t i) {
+        const NodeId node = pending_[begin + i];
+        execute_node(node, rank_[node], peer_sets_[node]);
+      });
+    }
+    begin += winners;
+    last_winners = winners;
+  }
+}
+
+void Engine::step() {
+  compute_round_order();
+  if (parallel_) {
+    run_round_waves();
+  } else {
+    run_round_serial();
   }
   ++round_;
   for (Observer* obs : observers_) {

@@ -6,11 +6,28 @@
 //   engine.add_observer(&metrics);
 //   engine.run(720);
 //
-// Per round the engine shuffles the node order (so no node systematically
-// initiates first), invokes every installed protocol slot on every active
-// node, then runs observers. Node status transitions (sleep for switched-
-// off PMs, wake, fail) are applied immediately and broadcast to the node's
-// protocol instances so overlays can drop dead links.
+// Per round the engine orders nodes by a counter-based hash of
+// (seed, round, node) — a deterministic per-round permutation, so no node
+// systematically initiates first — invokes every installed protocol slot on
+// every active node, then runs observers. Node status transitions (sleep
+// for switched-off PMs, wake, fail) are applied immediately and broadcast
+// to the node's protocol instances so overlays can drop dead links.
+//
+// Execution modes:
+//   * Serial (default, the reference semantics): nodes run one after the
+//     other in rank order.
+//   * Parallel (enable_parallel_execution): the round runs as deterministic
+//     waves. Each wave, the lowest-ranked pending nodes declare their peer
+//     footprint (Protocol::select_peers), reserve themselves plus declared
+//     peers via a fetch-max CAS on per-node owner words (lowest rank wins),
+//     and the maximal *prefix* of the batch whose reservations fully
+//     succeeded executes concurrently on an internal ThreadPool; everyone
+//     else rolls into the next wave. Because retired nodes always form a
+//     rank prefix and a winner owns every node it may touch, every
+//     interaction observes exactly the state it would have seen in the
+//     serial rank-order run — results are bit-identical to serial mode at
+//     any thread count (threads=1 included). A global-footprint node (e.g.
+//     a centralized baseline) executes alone, inline on the driver.
 //
 // Typed peer access is RTTI-free on the per-round path: each slot carries
 // cached typed-pointer views, registered eagerly when the slot is added
@@ -18,16 +35,24 @@
 // types via add_protocol_view). protocol_at serves from those caches with
 // a tag compare; dynamic_cast only runs on the cold first-access fallback
 // for slots installed through the type-erased overload, plus a debug-only
-// consistency check.
+// consistency check. View storage is a fixed-capacity array with an atomic
+// count per slot, so concurrent lookups from pool workers are lock-free
+// while the cold resolve path stays mutex-guarded.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/network_stats.hpp"
 #include "sim/node.hpp"
 #include "sim/protocol.hpp"
@@ -71,7 +96,7 @@ class Engine {
       base.push_back(std::move(p));
     }
     const ProtocolSlot slot = add_protocol_slot(std::move(base));
-    views_[slot].push_back({type_tag<T>(), std::move(ptrs)});
+    append_view(slot, type_tag<T>(), std::move(ptrs));
     return slot;
   }
 
@@ -91,11 +116,20 @@ class Engine {
     ptrs.reserve(source->ptrs.size());
     for (void* p : source->ptrs)
       ptrs.push_back(static_cast<As*>(static_cast<Concrete*>(p)));
-    views_[slot].push_back({type_tag<As>(), std::move(ptrs)});
+    append_view(slot, type_tag<As>(), std::move(ptrs));
   }
 
   /// Registers an observer (not owned). Observers run in add order.
   void add_observer(Observer* observer);
+
+  /// Switches step() to deterministic wave-parallel execution on an
+  /// internal thread pool of `threads` workers (>= 1). Results are
+  /// bit-identical to the serial engine at any thread count; threads is
+  /// clamped to the shard budget (exec::kShardCount - 1). With threads=1
+  /// the wave machinery runs inline on the caller with no pool.
+  void enable_parallel_execution(std::size_t threads);
+
+  [[nodiscard]] bool parallel() const noexcept { return parallel_; }
 
   /// Runs `rounds` rounds (continuing from the current round counter);
   /// stops early if an observer requests it. Returns rounds executed.
@@ -118,10 +152,12 @@ class Engine {
     return status_[node] == NodeStatus::kActive;
   }
   [[nodiscard]] std::size_t active_count() const noexcept {
-    return active_count_;
+    return active_count_.load(std::memory_order_relaxed);
   }
 
   /// Changes a node's status and notifies all of its protocol instances.
+  /// In parallel mode callable from an executing interaction only for
+  /// nodes it has reserved (the initiator or a declared peer).
   void set_status(NodeId node, NodeStatus status);
 
   /// Typed access to a protocol instance; T must match the installed type
@@ -130,7 +166,10 @@ class Engine {
   [[nodiscard]] T& protocol_at(ProtocolSlot slot, NodeId node) {
     GLAP_HOT_REQUIRE(slot < slots_.size(), "protocol slot out of range");
     GLAP_HOT_REQUIRE(node < slots_[slot].size(), "node id out of range");
-    for (const TypedView& view : views_[slot]) {
+    const SlotViews& views = views_[slot];
+    const std::size_t count = views.count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+      const TypedView& view = views.entries[i];
       if (view.tag != type_tag<T>()) continue;
       T* typed = static_cast<T*>(view.ptrs[node]);
       GLAP_DEBUG_ASSERT(dynamic_cast<T*>(slots_[slot][node].get()) == typed,
@@ -145,22 +184,35 @@ class Engine {
     return network_;
   }
 
-  /// Engine-level RNG: round shuffling and any protocol needing shared
-  /// randomness. Protocols typically hold their own split streams.
+  /// Engine-level RNG for protocols needing shared randomness. Protocols
+  /// typically hold their own split streams; the round order does not
+  /// consume this stream (it is counter-hashed from the seed).
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
  private:
   using TypeTag = const void*;
 
   struct TypedView {
-    TypeTag tag;
+    TypeTag tag = nullptr;
     std::vector<void*> ptrs;  ///< per-node pointers, already cast to T*
+  };
+
+  /// Lock-free-readable view set for one slot. Fixed capacity + atomic
+  /// count: readers scan entries[0..count), the cold resolve path appends
+  /// under views_mutex_ with a release store. Lives in a deque so element
+  /// addresses are stable as slots are added.
+  struct SlotViews {
+    static constexpr std::size_t kMaxViews = 8;
+    std::array<TypedView, kMaxViews> entries;
+    std::atomic<std::size_t> count{0};
   };
 
   template <typename T>
   [[nodiscard]] static TypeTag type_tag() noexcept {
     return &detail::kProtocolTypeTag<T>;
   }
+
+  void append_view(ProtocolSlot slot, TypeTag tag, std::vector<void*> ptrs);
 
   [[nodiscard]] const TypedView* find_view(ProtocolSlot slot,
                                            TypeTag tag) const;
@@ -173,6 +225,10 @@ class Engine {
   T& resolve_protocol_view(ProtocolSlot slot, NodeId node) {
     GLAP_REQUIRE(slot < slots_.size(), "protocol slot out of range");
     GLAP_REQUIRE(node < slots_[slot].size(), "node id out of range");
+    std::lock_guard lock(views_mutex_);
+    // Another thread may have resolved the view while we waited.
+    if (const TypedView* view = find_view(slot, type_tag<T>()))
+      return *static_cast<T*>(view->ptrs[node]);
     std::vector<void*> ptrs;
     ptrs.reserve(slots_[slot].size());
     for (const auto& p : slots_[slot]) {
@@ -180,20 +236,57 @@ class Engine {
       GLAP_REQUIRE(typed != nullptr, "protocol type mismatch for slot");
       ptrs.push_back(typed);
     }
-    views_[slot].push_back({type_tag<T>(), std::move(ptrs)});
-    return *static_cast<T*>(views_[slot].back().ptrs[node]);
+    T* result = static_cast<T*>(ptrs[node]);
+    append_view_locked(slot, type_tag<T>(), std::move(ptrs));
+    return *result;
   }
 
+  void append_view_locked(ProtocolSlot slot, TypeTag tag,
+                          std::vector<void*> ptrs);
+
+  /// Recomputes order_ for the current round (hash-rank permutation).
+  void compute_round_order();
+
+  void run_round_serial();
+  void run_round_waves();
+
+  /// Runs one node's full slot stack (shared by serial and parallel paths;
+  /// re-checks status between slots because an earlier protocol may have
+  /// put the node to sleep). `rank` seeds the deferred-effect order key.
+  void execute_node(NodeId node, std::size_t rank, const PeerSet& peers);
+
+  /// parallel_for over the pool when one exists, inline loop otherwise.
+  void run_parallel(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  void claim(std::uint64_t claim_word, NodeId target) noexcept;
+  [[nodiscard]] bool owns(std::uint64_t claim_word,
+                          NodeId target) const noexcept;
+
   std::vector<NodeStatus> status_;
-  std::size_t active_count_;
+  std::atomic<std::size_t> active_count_;
   std::vector<std::vector<std::unique_ptr<Protocol>>> slots_;
-  std::vector<std::vector<TypedView>> views_;  ///< parallel to slots_
+  std::deque<SlotViews> views_;  ///< parallel to slots_
+  std::mutex views_mutex_;
   std::vector<Observer*> observers_;
   std::vector<NodeId> order_;
+  std::vector<std::uint64_t> order_keys_;  ///< per-node sort key, scratch
   NetworkStats network_;
   Rng rng_;
+  std::uint64_t order_seed_;
   Round round_ = 0;
   bool stop_requested_ = false;
+
+  // --- parallel mode state ---
+  bool parallel_ = false;
+  std::size_t threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<PeerSet> peer_sets_;   ///< per-node selection scratch
+  std::vector<std::uint32_t> rank_;  ///< per-node rank this round
+  /// Per-node reservation word: (wave_stamp << 32) | (UINT32_MAX - rank),
+  /// claimed via fetch-max CAS so the lowest rank wins and stale claims
+  /// from earlier waves never outrank current ones. Cleared each round.
+  std::vector<std::atomic<std::uint64_t>> owner_;
+  std::vector<NodeId> pending_;  ///< wave scheduling scratch
 };
 
 }  // namespace glap::sim

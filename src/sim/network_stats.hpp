@@ -1,12 +1,19 @@
-// Message/byte accounting for the simulated gossip traffic. The engine is
-// single-threaded per run, so plain counters suffice. Protocols call
+// Message/byte accounting for the simulated gossip traffic. Protocols call
 // count_message for every simulated exchange so that the harness can report
 // communication overhead alongside the paper's metrics.
+//
+// Counters are sharded per thread so the parallel engine can count without
+// locks or atomic contention: each thread increments the shard named by its
+// exec::Context slot (0 = driver thread, 1..63 = pool workers), and readers
+// sum the shards. Totals are integers, so the merged result is independent
+// of which thread counted what — reads are only meaningful at quiescent
+// points (between waves/rounds), which is where the harness samples.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 
+#include "common/exec_context.hpp"
 #include "sim/node.hpp"
 
 namespace glap::sim {
@@ -16,21 +23,33 @@ class NetworkStats {
   void count_message(NodeId from, NodeId to, std::size_t bytes) noexcept {
     (void)from;
     (void)to;
-    ++messages_;
-    bytes_ += bytes;
+    Shard& shard = shards_[exec::context().shard_slot];
+    ++shard.messages;
+    shard.bytes += bytes;
   }
 
   void reset() noexcept {
-    messages_ = 0;
-    bytes_ = 0;
+    for (Shard& shard : shards_) shard = Shard{};
   }
 
-  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
-  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t messages() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) total += shard.messages;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) total += shard.bytes;
+    return total;
+  }
 
  private:
-  std::uint64_t messages_ = 0;
-  std::uint64_t bytes_ = 0;
+  struct alignas(64) Shard {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  Shard shards_[exec::kShardCount];
 };
 
 }  // namespace glap::sim

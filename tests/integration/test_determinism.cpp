@@ -1,0 +1,83 @@
+// Harness-level determinism: run_experiment with engine_threads > 1 must
+// reproduce the serial reference run bit-for-bit — every per-round sample
+// and every floating-point aggregate — for every algorithm in the suite.
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+
+namespace glap::harness {
+namespace {
+
+ExperimentConfig small_config(Algorithm algorithm) {
+  ExperimentConfig config;
+  config.algorithm = algorithm;
+  config.pm_count = 80;
+  config.vm_ratio = 2;
+  config.warmup_rounds = 60;
+  config.rounds = 40;
+  config.seed = 7;
+  config.fit_glap_phases_to_warmup();
+  return config;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const char* what) {
+  EXPECT_EQ(a.total_migrations, b.total_migrations) << what;
+  EXPECT_EQ(a.migration_energy_j, b.migration_energy_j) << what;
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j) << what;
+  EXPECT_EQ(a.slavo, b.slavo) << what;
+  EXPECT_EQ(a.slalm, b.slalm) << what;
+  EXPECT_EQ(a.slav, b.slav) << what;
+  EXPECT_EQ(a.messages, b.messages) << what;
+  EXPECT_EQ(a.bytes, b.bytes) << what;
+  EXPECT_EQ(a.final_active_pms, b.final_active_pms) << what;
+  EXPECT_EQ(a.final_overloaded_pms, b.final_overloaded_pms) << what;
+  EXPECT_EQ(a.final_bfd_bins, b.final_bfd_bins) << what;
+  ASSERT_EQ(a.rounds.size(), b.rounds.size()) << what;
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_EQ(a.rounds[r].active_pms, b.rounds[r].active_pms)
+        << what << " round " << r;
+    EXPECT_EQ(a.rounds[r].overloaded_pms, b.rounds[r].overloaded_pms)
+        << what << " round " << r;
+    EXPECT_EQ(a.rounds[r].migrations_cum, b.rounds[r].migrations_cum)
+        << what << " round " << r;
+    EXPECT_EQ(a.rounds[r].migrations_round, b.rounds[r].migrations_round)
+        << what << " round " << r;
+    EXPECT_EQ(a.rounds[r].migration_energy_j, b.rounds[r].migration_energy_j)
+        << what << " round " << r;
+  }
+}
+
+class DeterminismTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(DeterminismTest, ParallelEngineMatchesSerialBitForBit) {
+  ExperimentConfig config = small_config(GetParam());
+  const RunResult serial = run_experiment(config);
+
+  config.engine_threads = 2;
+  const RunResult par2 = run_experiment(config);
+  expect_identical(serial, par2, "threads=2");
+
+  config.engine_threads = 4;
+  const RunResult par4 = run_experiment(config);
+  expect_identical(serial, par4, "threads=4");
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, DeterminismTest,
+                         ::testing::Values(Algorithm::kGlap, Algorithm::kGrmp,
+                                           Algorithm::kEcoCloud,
+                                           Algorithm::kPabfd),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Determinism, ParallelRunIsReproducible) {
+  ExperimentConfig config = small_config(Algorithm::kGlap);
+  config.engine_threads = 4;
+  const RunResult a = run_experiment(config);
+  const RunResult b = run_experiment(config);
+  expect_identical(a, b, "repeat");
+}
+
+}  // namespace
+}  // namespace glap::harness

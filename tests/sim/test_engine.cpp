@@ -7,11 +7,14 @@
 namespace glap::sim {
 namespace {
 
-/// Records the order in which next_cycle fires.
+/// Records the order in which execute fires.
 class RecordingProtocol final : public Protocol {
  public:
   explicit RecordingProtocol(std::vector<NodeId>* log) : log_(log) {}
-  void next_cycle(Engine&, NodeId self) override { log_->push_back(self); }
+  void select_peers(Engine&, NodeId, PeerSet&) override {}  // touches only self
+  void execute(Engine&, NodeId self, const PeerSet&) override {
+    log_->push_back(self);
+  }
   void on_status_change(Engine&, NodeId self, NodeStatus status) override {
     status_changes.push_back({self, status});
   }
@@ -157,7 +160,7 @@ TEST(Engine, ProtocolAtTypeMismatchThrows) {
   engine.add_protocol_slot(make_recorders(2, &log));
   EXPECT_NO_THROW(engine.protocol_at<RecordingProtocol>(0, 0));
   class Other final : public Protocol {
-    void next_cycle(Engine&, NodeId) override {}
+    void execute(Engine&, NodeId, const PeerSet&) override {}
   };
   EXPECT_THROW(engine.protocol_at<Other>(0, 0), precondition_error);
 }

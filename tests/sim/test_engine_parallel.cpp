@@ -1,0 +1,170 @@
+// Determinism tests for the wave-parallel engine: the parallel mode must
+// be bit-identical to the serial reference engine for ANY thread count,
+// because waves retire interactions in exactly the serial hash-rank order.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace glap::sim {
+namespace {
+
+/// Order-sensitive pairwise interaction: each round a node averages its
+/// value with a deterministic partner. Averaging does not commute across
+/// interactions, so any deviation from the serial execution order changes
+/// the final values — exactly what these tests need to detect.
+class AveragingProtocol final : public Protocol {
+ public:
+  AveragingProtocol(NodeId self, std::vector<double>* values)
+      : self_(self), values_(values) {}
+
+  [[nodiscard]] NodeId partner(const Engine& engine) const {
+    const std::size_t n = engine.node_count();
+    const std::uint64_t h =
+        hash_combine(hash_combine(hash_tag("avg-partner"),
+                                  engine.current_round()),
+                     self_);
+    return static_cast<NodeId>((self_ + 1 + h % (n - 1)) % n);
+  }
+
+  void select_peers(Engine& engine, NodeId /*self*/, PeerSet& peers) override {
+    peers.add(partner(engine));
+  }
+
+  void execute(Engine& engine, NodeId self, const PeerSet& /*peers*/) override {
+    const NodeId p = partner(engine);
+    const double mine = (*values_)[self];
+    const double theirs = (*values_)[p];
+    (*values_)[self] = 0.75 * mine + 0.25 * theirs;
+    (*values_)[p] = 0.25 * mine + 0.75 * theirs;
+    engine.network().count_message(self, p, 24);
+  }
+
+ private:
+  NodeId self_;
+  std::vector<double>* values_;
+};
+
+/// Global-footprint protocol on node 0: folds every node's value into an
+/// order-sensitive running digest. The engine must run it alone in its
+/// wave for the digest to match serial.
+class GlobalDigestProtocol final : public Protocol {
+ public:
+  GlobalDigestProtocol(NodeId self, const std::vector<double>* values,
+                       double* digest)
+      : self_(self), values_(values), digest_(digest) {}
+
+  void select_peers(Engine&, NodeId, PeerSet& peers) override {
+    if (self_ == 0) peers.add_global();
+  }
+
+  void execute(Engine&, NodeId self, const PeerSet&) override {
+    if (self != 0) return;
+    for (double v : *values_) *digest_ = 0.9 * *digest_ + v;
+  }
+
+ private:
+  NodeId self_;
+  const std::vector<double>* values_;
+  double* digest_;
+};
+
+struct World {
+  std::vector<double> values;
+  double digest = 0.0;
+  std::unique_ptr<Engine> engine;
+};
+
+World run_world(std::size_t n, std::size_t threads, Round rounds,
+                bool with_global) {
+  World w;
+  w.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    w.values[i] = static_cast<double>(i + 1);
+  w.engine = std::make_unique<Engine>(n, 1234);
+  if (threads > 0) w.engine->enable_parallel_execution(threads);
+
+  std::vector<std::unique_ptr<Protocol>> avg;
+  for (std::size_t i = 0; i < n; ++i)
+    avg.push_back(std::make_unique<AveragingProtocol>(
+        static_cast<NodeId>(i), &w.values));
+  w.engine->add_protocol_slot(std::move(avg));
+
+  if (with_global) {
+    std::vector<std::unique_ptr<Protocol>> digest;
+    for (std::size_t i = 0; i < n; ++i)
+      digest.push_back(std::make_unique<GlobalDigestProtocol>(
+          static_cast<NodeId>(i), &w.values, &w.digest));
+    w.engine->add_protocol_slot(std::move(digest));
+  }
+
+  w.engine->run(rounds);
+  return w;
+}
+
+TEST(EngineParallel, ThreadsOneBitIdenticalToSerial) {
+  const World serial = run_world(64, 0, 25, false);
+  const World par = run_world(64, 1, 25, false);
+  EXPECT_EQ(serial.values, par.values);  // element-wise bit equality
+  EXPECT_EQ(serial.engine->network().messages(),
+            par.engine->network().messages());
+  EXPECT_EQ(serial.engine->network().bytes(), par.engine->network().bytes());
+}
+
+TEST(EngineParallel, AnyThreadCountBitIdenticalToSerial) {
+  const World serial = run_world(96, 0, 25, false);
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    const World par = run_world(96, threads, 25, false);
+    EXPECT_EQ(serial.values, par.values) << "threads=" << threads;
+    EXPECT_EQ(serial.engine->network().messages(),
+              par.engine->network().messages())
+        << "threads=" << threads;
+    EXPECT_EQ(serial.engine->network().bytes(), par.engine->network().bytes())
+        << "threads=" << threads;
+  }
+}
+
+TEST(EngineParallel, SameSeedSameThreadsIsReproducible) {
+  const World a = run_world(64, 4, 20, false);
+  const World b = run_world(64, 4, 20, false);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.engine->network().messages(), b.engine->network().messages());
+}
+
+TEST(EngineParallel, GlobalFootprintSerializesCorrectly) {
+  const World serial = run_world(48, 0, 20, true);
+  for (std::size_t threads : {2u, 4u}) {
+    const World par = run_world(48, threads, 20, true);
+    EXPECT_EQ(serial.values, par.values) << "threads=" << threads;
+    EXPECT_EQ(serial.digest, par.digest) << "threads=" << threads;
+  }
+}
+
+TEST(EngineParallel, SleepingNodesStillSkippedInParallel) {
+  World w;
+  const std::size_t n = 32;
+  w.values.resize(n, 1.0);
+  Engine engine(n, 9);
+  engine.enable_parallel_execution(4);
+  std::vector<std::unique_ptr<Protocol>> avg;
+  for (std::size_t i = 0; i < n; ++i)
+    avg.push_back(std::make_unique<AveragingProtocol>(
+        static_cast<NodeId>(i), &w.values));
+  engine.add_protocol_slot(std::move(avg));
+  engine.set_status(5, NodeStatus::kSleeping);
+  const std::uint64_t before = engine.network().messages();
+  engine.step();
+  // Every active node initiates exactly one interaction.
+  EXPECT_EQ(engine.network().messages() - before, n - 1);
+}
+
+TEST(EngineParallel, RejectsZeroThreads) {
+  Engine engine(4, 1);
+  EXPECT_THROW(engine.enable_parallel_execution(0), precondition_error);
+}
+
+}  // namespace
+}  // namespace glap::sim
