@@ -71,6 +71,13 @@ int main() {
     }
   }
   std::fputs(table.render().c_str(), stdout);
+
+  harness::BenchReport report("ablation_glap",
+                              "Ablation — GLAP design choices");
+  report.set_scale(scale);
+  report.add_table("variants", table);
+  report.write();
+
   std::printf("\nexpected: full GLAP matches or beats both ablations on "
               "overloaded PMs — the average/current split is what lets "
               "the IN-table anticipate demand variability, and unified "

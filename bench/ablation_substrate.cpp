@@ -67,6 +67,13 @@ int main() {
              [](const harness::RunResult& r) { return r.slav; }))});
   }
   std::fputs(table.render().c_str(), stdout);
+
+  harness::BenchReport report("ablation_substrate",
+                              "Ablation — overlay layer & PABFD estimator");
+  report.set_scale(scale);
+  report.add_table("substrate", table);
+  report.write();
+
   std::printf("\nexpected: GLAP's numbers are overlay-agnostic (both "
               "layers provide uniform-ish live peer samples); PABFD's "
               "estimator shifts its aggressiveness — lower thresholds "

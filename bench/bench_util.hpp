@@ -10,6 +10,7 @@
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "harness/bench_scale.hpp"
+#include "harness/report.hpp"
 #include "harness/sweep.hpp"
 
 namespace glap::bench {

@@ -83,6 +83,13 @@ int main() {
     }
   }
   std::fputs(table.render().c_str(), stdout);
+
+  harness::BenchReport report("churn_dynamics",
+                              "Churn — consolidation under VM churn");
+  report.set_scale(scale);
+  report.add_table("churn", table);
+  report.write();
+
   std::printf("\nreading: churn stresses every policy (arrivals land by "
               "allocation, not by learned risk); GLAP's re-learning "
               "oracle refreshes the Q-tables as the workload population "

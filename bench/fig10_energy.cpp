@@ -36,6 +36,13 @@ int main() {
                    format_double(total / 1e6, 2)});
   }
   std::fputs(table.render().c_str(), stdout);
+
+  harness::BenchReport report(
+      "fig10_energy", "Fig. 10 — migration energy overhead (Eq. 3)");
+  report.set_scale(scale);
+  report.add_table("energy", table);
+  report.write();
+
   std::printf("\nexpected shape (paper): migration-energy ordering GLAP "
               "lowest, PABFD highest; energy tracks migration count but "
               "not proportionally (τ varies with resident memory).\n");

@@ -40,6 +40,12 @@ int main() {
 
   const auto results = harness::run_cells(cells, 1, pool);
 
+  harness::BenchReport report("fig5_convergence",
+                              "Fig. 5 — Q-value convergence (WOG vs WG)");
+  report.set_scale(scale);
+  ConsoleTable summary(
+      {"ratio", "variant", "plateau", "final", "rounds-to-0.999"});
+
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& config = results[i].config;
     const auto& series = results[i].runs.front().convergence;
@@ -55,7 +61,29 @@ int main() {
     if (!series.empty())
       std::printf("  final:%.4f", series.back());
     std::printf("\n");
+
+    // Plateau = mean over the last 10 warmup rounds; rounds-to-0.999 is
+    // the first cycle at or above that similarity (WG hits it, WOG not).
+    RunningStats tail;
+    const std::size_t tail_from =
+        series.size() > 10 ? series.size() - 10 : 0;
+    for (std::size_t c = tail_from; c < series.size(); ++c)
+      tail.add(series[c]);
+    std::string to_unity = "-";
+    for (std::size_t c = 0; c < series.size(); ++c)
+      if (series[c] >= 0.999) {
+        to_unity = std::to_string(c + 1);
+        break;
+      }
+    summary.add_row({std::to_string(config.vm_ratio),
+                     with_gossip ? "WG" : "WOG",
+                     format_double(tail.mean(), 3),
+                     series.empty() ? "-" : format_double(series.back(), 4),
+                     to_unity});
   }
+
+  report.add_table("summary", summary);
+  report.write();
 
   std::printf(
       "\nexpected shape (paper): WOG plateaus well below 1 for every "

@@ -38,6 +38,13 @@ int main() {
                    format_double(frac, 3)});
   }
   std::fputs(table.render().c_str(), stdout);
+
+  harness::BenchReport report(
+      "fig6_packing", "Fig. 6 — active PMs vs BFD baseline");
+  report.set_scale(scale);
+  report.add_table("packing", table);
+  report.write();
+
   std::printf(
       "\nexpected shape (paper): overloaded/active ordering GLAP < "
       "EcoCloud < PABFD < GRMP; GRMP and PABFD pack at/below the oracle, "

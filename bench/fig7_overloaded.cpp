@@ -31,10 +31,19 @@ int main() {
   }
   std::fputs(table.render().c_str(), stdout);
 
+  harness::BenchReport report(
+      "fig7_overloaded",
+      "Fig. 7 — overloaded PMs per round (median, p10, p90)");
+  report.set_scale(scale);
+  report.add_table("overloaded", table);
+
   // Headline reduction percentages (paper: GLAP cuts overloaded PMs by
   // 43% / 78% / 73% vs EcoCloud / GRMP / PABFD).
+  const double paper_reduction[] = {43.0, 78.0, 73.0};
+  ConsoleTable reductions({"vs", "paper", "measured"});
   std::printf("\nGLAP overload reduction vs each baseline (mean over "
               "cells, by mean overloaded count):\n");
+  std::size_t b = 0;
   for (Algorithm baseline : {Algorithm::kEcoCloud, Algorithm::kGrmp,
                              Algorithm::kPabfd}) {
     double glap_sum = 0.0, base_sum = 0.0;
@@ -48,7 +57,13 @@ int main() {
         base_sum > 0.0 ? 100.0 * (1.0 - glap_sum / base_sum) : 0.0;
     std::printf("  vs %-8s: %5.1f%% fewer overloaded PMs\n",
                 std::string(to_string(baseline)).c_str(), reduction);
+    reductions.add_row({std::string(to_string(baseline)),
+                        "-" + format_double(paper_reduction[b], 0) + "%",
+                        format_double(-reduction, 1) + "%"});
+    ++b;
   }
+  report.add_table("reductions", reductions);
+  report.write();
   std::printf("\nexpected shape (paper): GLAP smallest everywhere; GRMP "
               "worst; stable across sizes and ratios.\n");
   return 0;

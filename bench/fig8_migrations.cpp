@@ -32,8 +32,17 @@ int main() {
   }
   std::fputs(table.render().c_str(), stdout);
 
+  harness::BenchReport report(
+      "fig8_migrations",
+      "Fig. 8 — migrations per round (median, p10, p90) and totals");
+  report.set_scale(scale);
+  report.add_table("migrations", table);
+
+  const double paper_reduction[] = {23.0, 37.0, 70.0};
+  ConsoleTable reductions({"vs", "paper", "measured"});
   std::printf("\nGLAP migration reduction vs each baseline (paper: 23%% / "
               "37%% / 70%% fewer than EcoCloud / GRMP / PABFD):\n");
+  std::size_t b = 0;
   for (Algorithm baseline : {Algorithm::kEcoCloud, Algorithm::kGrmp,
                              Algorithm::kPabfd}) {
     double glap_sum = 0.0, base_sum = 0.0;
@@ -48,7 +57,13 @@ int main() {
         base_sum > 0.0 ? 100.0 * (1.0 - glap_sum / base_sum) : 0.0;
     std::printf("  vs %-8s: %5.1f%% fewer migrations\n",
                 std::string(to_string(baseline)).c_str(), reduction);
+    reductions.add_row({std::string(to_string(baseline)),
+                        "-" + format_double(paper_reduction[b], 0) + "%",
+                        format_double(-reduction, 1) + "%"});
+    ++b;
   }
+  report.add_table("reductions", reductions);
+  report.write();
   std::printf("\nexpected shape (paper): GLAP fewest migrations, PABFD by "
               "far the most; totals grow with the workload ratio.\n");
   return 0;

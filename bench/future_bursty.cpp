@@ -75,6 +75,13 @@ int main() {
     }
   }
   std::fputs(table.render().c_str(), stdout);
+
+  harness::BenchReport report(
+      "future_bursty", "Future work — increasing workload burstiness");
+  report.set_scale(scale);
+  report.add_table("burstiness", table);
+  report.write();
+
   std::printf("\nreading: every policy overloads more as bursts dominate; "
               "the question is whether GLAP's relative advantage (lowest "
               "overloads) survives — the learned IN-table keys on the "

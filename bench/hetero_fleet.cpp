@@ -60,6 +60,13 @@ int main() {
              [](const harness::RunResult& r) { return r.slav; }))});
   }
   std::fputs(table.render().c_str(), stdout);
+
+  harness::BenchReport report(
+      "hetero_fleet", "Heterogeneous fleet — mixed G4/G5 PMs");
+  report.set_scale(scale);
+  report.add_table("fleet", table);
+  report.write();
+
   std::printf("\nreading: the homogeneous-fleet orderings (overloads "
               "GLAP < EcoCloud < PABFD < GRMP) should survive "
               "heterogeneity; GLAP's per-PM states adapt naturally "

@@ -3,6 +3,13 @@
 // the local trainer — the per-round costs that bound simulator throughput.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <vector>
+
 #include "cloud/datacenter.hpp"
 #include "common/rng.hpp"
 #include "core/learning.hpp"
@@ -138,4 +145,30 @@ BENCHMARK(BM_LocalTrainerRound);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: unless the caller passes their own --benchmark_out, mirror
+// the results into results/micro_components.json (google-benchmark's own
+// JSON schema) so the bench lands next to the BenchReport files.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  std::string out_flag, fmt_flag;
+  if (!has_out) {
+    const char* env = std::getenv("GLAP_RESULTS_DIR");
+    const std::string dir = env != nullptr && *env != '\0' ? env : "results";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    out_flag = "--benchmark_out=" + dir + "/micro_components.json";
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -48,6 +48,14 @@ int main() {
     }
   }
   std::fputs(table.render().c_str(), stdout);
+
+  harness::BenchReport report(
+      "overhead_traffic",
+      "Overhead — control-plane traffic per protocol and cluster size");
+  report.set_scale(scale);
+  report.add_table("traffic", table);
+  report.write();
+
   std::printf("\nreading: gossip protocols stay at O(1) messages per PM "
               "per round as the cluster grows; PABFD's manager polls all "
               "N PMs every round (plus migration commands), the "

@@ -7,7 +7,9 @@
 //
 //   build/bench/parallel_smoke
 #include <cstdio>
+#include <string>
 
+#include "harness/report.hpp"
 #include "harness/runner.hpp"
 
 namespace {
@@ -67,6 +69,15 @@ int main() {
       }
     }
   }
+
+  harness::BenchReport report(
+      "parallel_smoke",
+      "Parallel-engine smoke — serial vs 4-thread bit-identity");
+  report.add_headline("status", ok ? "OK" : "MISMATCH");
+  report.add_headline("total_migrations",
+                      std::to_string(serial.total_migrations));
+  report.add_headline("messages", std::to_string(serial.messages));
+  report.write();
 
   if (!ok) return 1;
   std::printf(

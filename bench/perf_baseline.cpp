@@ -22,8 +22,19 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "harness/report.hpp"
 #include "harness/runner.hpp"
 #include "qlearn/qtable.hpp"
+
+namespace {
+
+std::string fmt(const char* spec, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+}  // namespace
 
 namespace {
 
@@ -152,6 +163,14 @@ int run_engine_scaling(const std::string& label) {
                         {"glap_1000pm", 1000, 100, 100}};
   const std::size_t threads[] = {1, 2, 4, 8};
 
+  harness::BenchReport report("perf_engine_scaling",
+                              "Engine scaling — GLAP rounds/sec by thread "
+                              "count (host-dependent)");
+  report.add_headline("label", label);
+  report.add_headline(
+      "host_hardware_threads",
+      std::to_string(std::thread::hardware_concurrency()));
+
   std::printf("{\n");
   std::printf("  \"label\": \"%s\",\n", label.c_str());
   std::printf("  \"host_hardware_threads\": %u,\n",
@@ -163,6 +182,8 @@ int run_engine_scaling(const std::string& label) {
     std::printf("  \"%s_rounds\": %u,\n", size.name,
                 static_cast<unsigned>(size.warmup + size.eval));
     std::printf("  \"%s_serial_rounds_per_sec\": %.2f,\n", size.name, serial);
+    report.add_headline(std::string(size.name) + "_serial_rounds_per_sec",
+                        fmt("%.2f", serial));
     for (std::size_t t : threads) {
       std::fprintf(stderr, "[perf_baseline] %s threads=%zu...\n", size.name,
                    t);
@@ -172,9 +193,16 @@ int run_engine_scaling(const std::string& label) {
       std::printf("  \"%s_t%zu_speedup_vs_serial\": %.2f%s\n", size.name, t,
                   rps / serial,
                   (&size == &sizes[1] && t == threads[3]) ? "" : ",");
+      report.add_headline(std::string(size.name) + "_t" + std::to_string(t) +
+                              "_rounds_per_sec",
+                          fmt("%.2f", rps));
+      report.add_headline(std::string(size.name) + "_t" + std::to_string(t) +
+                              "_speedup_vs_serial",
+                          fmt("%.2f", rps / serial));
     }
   }
   std::printf("}\n");
+  report.write();
   return 0;
 }
 
@@ -203,5 +231,17 @@ int main(int argc, char** argv) {
   std::printf("  \"glap_150pm_rounds\": %.0f,\n", total_rounds);
   std::printf("  \"glap_150pm_rounds_per_sec\": %.2f\n", rounds_per_sec);
   std::printf("}\n");
+
+  harness::BenchReport report(
+      "perf_baseline", "Perf baseline — Q-table kernels and end-to-end "
+                       "GLAP throughput (host-dependent)");
+  report.add_headline("label", label);
+  report.add_headline("qtable_update_ns", fmt("%.1f", update_ns));
+  report.add_headline("qtable_merge_average_2048_ns", fmt("%.1f", merge_ns));
+  report.add_headline("qtable_cosine_similarity_2048_ns",
+                      fmt("%.1f", cosine_ns));
+  report.add_headline("glap_150pm_rounds", fmt("%.0f", total_rounds));
+  report.add_headline("glap_150pm_rounds_per_sec", fmt("%.2f", rounds_per_sec));
+  report.write();
   return 0;
 }

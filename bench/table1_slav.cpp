@@ -50,6 +50,14 @@ int main() {
              [](const harness::RunResult& r) { return r.slav; }))});
   }
   std::fputs(parts.render().c_str(), stdout);
+
+  harness::BenchReport report("table1_slav",
+                              "Table I — SLAV per size and ratio");
+  report.set_scale(scale);
+  report.add_table("slav", table);
+  report.add_table("components", parts);
+  report.write();
+
   std::printf("\nexpected shape (paper): SLAV ordering GLAP < EcoCloud < "
               "PABFD < GRMP in each cell; SLAV grows with the ratio.\n");
   return 0;

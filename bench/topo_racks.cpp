@@ -73,6 +73,13 @@ int main() {
     }
   }
   std::fputs(table.render().c_str(), stdout);
+
+  harness::BenchReport report(
+      "topo_racks", "Future work — rack-topology-aware consolidation");
+  report.set_scale(scale);
+  report.add_table("racks", table);
+  report.write();
+
   std::printf("\nexpected: moderate affinity (~0.5) retires the most "
               "racks/switches at a comparable active-PM count. Very high "
               "affinity backfires: emptying a rack requires *cross-rack* "

@@ -1,0 +1,151 @@
+// Trace-overhead smoke: the observability layer must be (near) free when
+// it is off, and cheap when it is on.
+//
+// Two checks, both on the BENCH_engine.json glap_150pm shape (150 PMs,
+// 200 warmup + 150 eval rounds, serial engine):
+//
+//   1. enabled-cost gate (hard): rounds/sec with metrics + full JSONL
+//      tracing enabled must stay above --min-on-ratio (default 0.5) of
+//      the tracing-off throughput of the same binary;
+//   2. reference gate: tracing-off rounds/sec is compared against the
+//      committed glap_150pm_serial_rounds_per_sec in BENCH_engine.json
+//      (or --reference <path>). Throughput below --min-ref-ratio
+//      (default 0.5, generous because the recorded number is
+//      host-dependent) fails; a missing reference file only warns.
+//
+// scripts/ci.sh runs this as its trace-overhead stage:
+//
+//   build-release/bench/trace_overhead --reference BENCH_engine.json
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+
+namespace {
+
+using namespace glap;
+using Clock = std::chrono::steady_clock;
+
+harness::ExperimentConfig overhead_config() {
+  harness::ExperimentConfig config;
+  config.algorithm = harness::Algorithm::kGlap;
+  config.pm_count = 150;
+  config.warmup_rounds = 200;
+  config.rounds = 150;
+  config.fit_glap_phases_to_warmup();
+  return config;
+}
+
+/// Best-of-`reps` rounds/sec; `sink` != nullptr enables metrics + tracing.
+double rounds_per_sec(std::ostringstream* sink, int reps) {
+  harness::ExperimentConfig config = overhead_config();
+  const double total_rounds =
+      static_cast<double>(config.warmup_rounds + config.rounds);
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    if (sink != nullptr) {
+      sink->str({});
+      config.observability.metrics = true;
+      config.observability.trace_sink = sink;
+    }
+    const auto start = Clock::now();
+    const auto result = harness::run_experiment(config);
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (result.rounds.size() != config.rounds) std::abort();
+    best = std::max(best, total_rounds / elapsed);
+  }
+  return best;
+}
+
+/// Extracts `"key": <number>` from a JSON file by string search — enough
+/// for the flat committed baseline records.
+bool find_number(const std::string& path, const char* key, double* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  return std::sscanf(text.c_str() + pos + needle.size(), " %lf", out) == 1;
+}
+
+double arg_ratio(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string reference;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--reference") == 0) reference = argv[i + 1];
+  const double min_on_ratio = arg_ratio(argc, argv, "--min-on-ratio", 0.5);
+  const double min_ref_ratio = arg_ratio(argc, argv, "--min-ref-ratio", 0.5);
+
+  std::fprintf(stderr, "[trace_overhead] tracing off (3 runs)...\n");
+  const double off = rounds_per_sec(nullptr, 3);
+  std::fprintf(stderr, "[trace_overhead] metrics + tracing on (3 runs)...\n");
+  std::ostringstream sink;
+  const double on = rounds_per_sec(&sink, 3);
+
+  std::printf("[trace_overhead] off: %.2f rounds/sec, on: %.2f rounds/sec "
+              "(on/off %.2f), trace bytes/run: %zu\n",
+              off, on, off > 0 ? on / off : 0.0, sink.str().size());
+
+  bool ok = true;
+  if (on < min_on_ratio * off) {
+    std::fprintf(stderr,
+                 "[trace_overhead] FAIL: enabled tracing costs too much "
+                 "(%.2f < %.2f x %.2f)\n",
+                 on, min_on_ratio, off);
+    ok = false;
+  }
+
+  double recorded = 0.0;
+  if (reference.empty()) {
+    std::fprintf(stderr, "[trace_overhead] no --reference given; skipping "
+                         "baseline comparison\n");
+  } else if (!find_number(reference, "glap_150pm_serial_rounds_per_sec",
+                          &recorded)) {
+    std::fprintf(stderr,
+                 "[trace_overhead] warning: cannot read "
+                 "glap_150pm_serial_rounds_per_sec from %s; skipping\n",
+                 reference.c_str());
+  } else {
+    std::printf("[trace_overhead] recorded baseline: %.2f rounds/sec "
+                "(off/recorded %.2f)\n",
+                recorded, recorded > 0 ? off / recorded : 0.0);
+    if (off < min_ref_ratio * recorded) {
+      std::fprintf(stderr,
+                   "[trace_overhead] FAIL: tracing-off throughput fell "
+                   "below %.0f%% of the recorded baseline (%.2f < %.2f)\n",
+                   100.0 * min_ref_ratio, off, min_ref_ratio * recorded);
+      ok = false;
+    }
+  }
+
+  harness::BenchReport report(
+      "trace_overhead",
+      "Trace overhead — rounds/sec off vs on (host-dependent)");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", off);
+  report.add_headline("rounds_per_sec_off", buf);
+  std::snprintf(buf, sizeof(buf), "%.2f", on);
+  report.add_headline("rounds_per_sec_on", buf);
+  std::snprintf(buf, sizeof(buf), "%.2f", off > 0 ? on / off : 0.0);
+  report.add_headline("on_off_ratio", buf);
+  report.add_headline("status", ok ? "OK" : "FAIL");
+  report.write();
+
+  return ok ? 0 : 1;
+}

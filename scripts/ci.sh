@@ -9,7 +9,17 @@
 # path. Runs bench/perf_baseline and prints its JSON line; compare
 # against the committed BENCH_qtable.json at the repo root.
 #
-# Stage 3 (thread safety, RUN_TSAN=1 to enable): ThreadSanitizer build;
+# Stage 3 (docs drift): reruns every bench that feeds a GENERATED block
+# in EXPERIMENTS.md at the default 150-PM scale and fails with a diff if
+# the committed tables don't match the regenerated ones byte-for-byte.
+# Simulation results are a pure function of (config, seed), so this is
+# host-independent; the throughput benches are not drift-checked.
+#
+# Stage 4 (trace overhead): bench/trace_overhead asserts rounds/sec with
+# tracing off stays within a noise band of the committed
+# BENCH_engine.json entry, and that tracing on doesn't crater it.
+#
+# Stage 5 (thread safety, RUN_TSAN=1 to enable): ThreadSanitizer build;
 # runs the full ctest suite plus the multi-threaded 150-PM GLAP smoke
 # (bench/parallel_smoke) under TSan to catch data races in the
 # wave-parallel engine.
@@ -30,6 +40,22 @@ cmake --build build-release -j "$JOBS"
 if [[ "${RUN_BENCH:-1}" == "1" ]]; then
   echo "== bench: perf_baseline =="
   ./build-release/bench/perf_baseline "ci-$(git rev-parse --short HEAD 2>/dev/null || echo local)"
+fi
+
+if [[ "${RUN_DOCS_DRIFT:-1}" == "1" ]]; then
+  echo "== docs drift: regenerate EXPERIMENTS.md tables and compare =="
+  python3 scripts/regen_experiments.py --build-dir build-release --check
+  python3 scripts/regen_experiments.py --update-test-count build
+  if ! git diff --quiet -- README.md 2>/dev/null; then
+    echo "README.md test count is stale; commit the update" >&2
+    git --no-pager diff -- README.md >&2
+    exit 1
+  fi
+fi
+
+if [[ "${RUN_TRACE_SMOKE:-1}" == "1" ]]; then
+  echo "== trace overhead: tracing-off path vs BENCH_engine.json =="
+  ./build-release/bench/trace_overhead --reference BENCH_engine.json
 fi
 
 if [[ "${RUN_TSAN:-1}" == "1" ]]; then

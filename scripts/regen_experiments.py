@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Regenerate the measured tables in EXPERIMENTS.md from bench results.
+
+Every bench binary mirrors the tables it prints into results/<bench>.json
+(see src/harness/report.hpp). This script reruns the generating benches and
+rewrites the blocks between
+
+    <!-- GENERATED:BEGIN <bench>.<table> -->
+    ...
+    <!-- GENERATED:END <bench>.<table> -->
+
+markers in EXPERIMENTS.md from those files. Cell values arrive preformatted
+from the C++ side; this script only lays out markdown, so a regenerated
+document is byte-identical to any other regenerated from the same results
+(the CI docs-drift stage depends on that).
+
+`<table>` may also be the literal `headlines`, which renders the bench's
+headline key/value pairs as a two-column table.
+
+Usage:
+    scripts/regen_experiments.py [--build-dir build-release] [--check]
+        [--results-dir results] [--skip-run] [--only bench1,bench2]
+    scripts/regen_experiments.py --update-test-count build
+
+--check regenerates in memory and exits 1 with a diff if EXPERIMENTS.md is
+out of date. --skip-run trusts the existing results files. The bench scale
+is inherited from the environment (GLAP_BENCH_SCALE / GLAP_BENCH_REPS).
+
+--update-test-count runs `ctest -N` in the given build dir and rewrites the
+test count between <!-- TEST-COUNT:BEGIN --> / END markers in README.md.
+"""
+
+import argparse
+import difflib
+import json
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXPERIMENTS = os.path.join(REPO, "EXPERIMENTS.md")
+README = os.path.join(REPO, "README.md")
+
+BEGIN_RE = re.compile(r"<!-- GENERATED:BEGIN ([A-Za-z0-9_]+)\.([A-Za-z0-9_]+) -->")
+END_TMPL = "<!-- GENERATED:END {bench}.{table} -->"
+
+
+def fail(msg):
+    print(f"[regen] error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def find_blocks(text):
+    """Yields (bench, table) for every generated block, in document order."""
+    return [(m.group(1), m.group(2)) for m in BEGIN_RE.finditer(text)]
+
+
+def run_benches(benches, build_dir, results_dir):
+    env = dict(os.environ, GLAP_RESULTS_DIR=results_dir)
+    for bench in benches:
+        exe = os.path.join(build_dir, "bench", bench)
+        if not os.path.exists(exe):
+            fail(f"bench binary not found: {exe} (build it first)")
+        print(f"[regen] running {bench} ...", flush=True)
+        proc = subprocess.run([exe], env=env, cwd=REPO,
+                              stdout=subprocess.DEVNULL)
+        if proc.returncode != 0:
+            fail(f"{bench} exited with {proc.returncode}")
+
+
+def load_results(bench, results_dir):
+    path = os.path.join(results_dir, f"{bench}.json")
+    if not os.path.isabs(path):
+        path = os.path.join(REPO, path)
+    if not os.path.exists(path):
+        fail(f"missing results file {path}; run the {bench} bench "
+             f"(or drop --skip-run)")
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def markdown_table(columns, rows):
+    lines = ["| " + " | ".join(columns) + " |",
+             "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def render_block(results, bench, table):
+    if table == "headlines":
+        headlines = results.get("headlines", {})
+        if not headlines:
+            fail(f"{bench}.json has no headlines")
+        return markdown_table(["key", "value"],
+                              [[k, v] for k, v in headlines.items()])
+    for t in results.get("tables", []):
+        if t["name"] == table:
+            return markdown_table(t["columns"], t["rows"])
+    fail(f"{bench}.json has no table named '{table}'")
+
+
+def regenerate(text, results_dir):
+    """Returns `text` with every generated block rebuilt from results."""
+    out = text
+    for bench, table in find_blocks(text):
+        begin = f"<!-- GENERATED:BEGIN {bench}.{table} -->"
+        end = END_TMPL.format(bench=bench, table=table)
+        start = out.index(begin)
+        stop = out.find(end, start)
+        if stop < 0:
+            fail(f"unterminated generated block {bench}.{table}")
+        results = load_results(bench, results_dir)
+        body = render_block(results, bench, table)
+        out = out[:start] + begin + "\n" + body + "\n" + out[stop:]
+    return out
+
+
+def update_test_count(build_dir):
+    proc = subprocess.run(["ctest", "--test-dir", build_dir, "-N"],
+                          cwd=REPO, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"ctest -N failed:\n{proc.stderr}")
+    m = re.search(r"Total Tests:\s*(\d+)", proc.stdout)
+    if not m:
+        fail("could not find 'Total Tests: N' in ctest -N output")
+    count = int(m.group(1))
+
+    with open(README, encoding="utf-8") as f:
+        text = f.read()
+    begin, end = "<!-- TEST-COUNT:BEGIN -->", "<!-- TEST-COUNT:END -->"
+    if begin not in text or end not in text:
+        fail(f"README.md is missing the {begin} / {end} markers")
+    start = text.index(begin) + len(begin)
+    stop = text.index(end)
+    new_text = text[:start] + str(count) + text[stop:]
+    if new_text != text:
+        with open(README, "w", encoding="utf-8") as f:
+            f.write(new_text)
+        print(f"[regen] README.md test count -> {count}")
+    else:
+        print(f"[regen] README.md test count already {count}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build-release",
+                    help="build tree with the bench binaries")
+    ap.add_argument("--results-dir", default="results",
+                    help="where benches write / script reads <bench>.json")
+    ap.add_argument("--check", action="store_true",
+                    help="fail with a diff instead of rewriting")
+    ap.add_argument("--skip-run", action="store_true",
+                    help="reuse existing results files, do not run benches")
+    ap.add_argument("--only", default="",
+                    help="comma-separated subset of benches to rerun "
+                         "(others use existing results files)")
+    ap.add_argument("--update-test-count", metavar="BUILD_DIR",
+                    help="rewrite the README test count from ctest -N "
+                         "and exit")
+    args = ap.parse_args()
+
+    if args.update_test_count:
+        update_test_count(args.update_test_count)
+        return
+
+    with open(EXPERIMENTS, encoding="utf-8") as f:
+        text = f.read()
+    blocks = find_blocks(text)
+    if not blocks:
+        fail("EXPERIMENTS.md contains no GENERATED blocks")
+    benches = sorted({bench for bench, _ in blocks})
+
+    if not args.skip_run:
+        selected = benches
+        if args.only:
+            only = set(args.only.split(","))
+            unknown = only - set(benches)
+            if unknown:
+                fail(f"--only names unknown benches: {sorted(unknown)}")
+            selected = [b for b in benches if b in only]
+        run_benches(selected, args.build_dir, args.results_dir)
+
+    new_text = regenerate(text, args.results_dir)
+    if args.check:
+        if new_text != text:
+            diff = difflib.unified_diff(
+                text.splitlines(keepends=True),
+                new_text.splitlines(keepends=True),
+                fromfile="EXPERIMENTS.md (committed)",
+                tofile="EXPERIMENTS.md (regenerated)")
+            sys.stderr.writelines(diff)
+            fail("EXPERIMENTS.md is out of date; run "
+                 "scripts/regen_experiments.py")
+        print("[regen] EXPERIMENTS.md is up to date")
+        return
+
+    if new_text != text:
+        with open(EXPERIMENTS, "w", encoding="utf-8") as f:
+            f.write(new_text)
+        print("[regen] EXPERIMENTS.md rewritten")
+    else:
+        print("[regen] EXPERIMENTS.md unchanged")
+
+
+if __name__ == "__main__":
+    main()

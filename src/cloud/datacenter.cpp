@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
+#include "common/tracing.hpp"
+
 namespace glap::cloud {
 
 namespace {
@@ -219,6 +222,18 @@ MigrationRecord DataCenter::migrate(VmId vm_id, PmId to) {
   usage_cache_[to] += moving.current_usage();
 
   MigrationRecord record{vm_id, from, to, round_, tau, energy};
+  // Observability: both sinks buffer per shard with (order_key, seq) tags
+  // and replay in serial order at commit, so this is safe (and identical)
+  // under both engine modes.
+  if (trace_ != nullptr)
+    trace_->emit(trace::Kind::kMigration, static_cast<std::int64_t>(vm_id),
+                 static_cast<std::int64_t>(from), static_cast<std::int64_t>(to),
+                 0, moving.current_usage().cpu, energy);
+  if (ctr_migrations_ != nullptr) {
+    ctr_migrations_->inc();
+    hist_tau_->observe(tau);
+    hist_energy_->observe(energy);
+  }
   if (deferred_accounting_) {
     exec::Context& ctx = exec::context();
     deferred_log_[ctx.shard_slot].push_back(
@@ -274,6 +289,26 @@ void DataCenter::set_power(PmId id, PmPower power) {
     active_pms_.decrement();
   else
     active_pms_.increment();
+  if (trace_ != nullptr)
+    trace_->emit(trace::Kind::kPower, static_cast<std::int64_t>(id),
+                 power == PmPower::kSleep ? 0 : 1);
+  if (ctr_power_transitions_ != nullptr) ctr_power_transitions_->inc();
+}
+
+void DataCenter::set_telemetry(metrics::MetricsRegistry* registry,
+                               trace::TraceLog* trace) {
+  trace_ = trace;
+  if (registry != nullptr) {
+    ctr_migrations_ = registry->counter("dc.migrations");
+    ctr_power_transitions_ = registry->counter("dc.power_transitions");
+    hist_tau_ = registry->histogram("dc.migration_tau_s");
+    hist_energy_ = registry->histogram("dc.migration_energy_j");
+  } else {
+    ctr_migrations_ = nullptr;
+    ctr_power_transitions_ = nullptr;
+    hist_tau_ = nullptr;
+    hist_energy_ = nullptr;
+  }
 }
 
 void DataCenter::observe_demands(std::span<const Resources> fractions) {

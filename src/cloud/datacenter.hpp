@@ -22,6 +22,15 @@
 #include "common/exec_context.hpp"
 #include "common/rng.hpp"
 
+namespace glap::metrics {
+class MetricsRegistry;
+class Counter;
+class OrderedHistogram;
+}  // namespace glap::metrics
+namespace glap::trace {
+class TraceLog;
+}
+
 namespace glap::cloud {
 
 /// Relaxed atomic counter that stays copyable/movable so DataCenter keeps
@@ -157,6 +166,14 @@ class DataCenter {
   /// it after every engine step). No-op when nothing is deferred.
   void commit_deferred_accounting();
 
+  /// Attaches observability sinks (neither owned; either may be null).
+  /// Resolves and caches the DataCenter's instruments — dc.migrations,
+  /// dc.power_transitions, dc.migration_tau_s, dc.migration_energy_j —
+  /// so the hot paths pay one null check when observability is off.
+  /// Call from the driver thread, before the engine runs.
+  void set_telemetry(metrics::MetricsRegistry* registry,
+                     trace::TraceLog* trace);
+
   // ------------------------------------------------------- round protocol
 
   /// Pushes this round's demand fractions (one entry per VM, indexed by
@@ -217,6 +234,13 @@ class DataCenter {
   std::vector<std::vector<DeferredMigration>> deferred_log_;
   std::vector<DeferredMigration> commit_scratch_;
   std::vector<MigrationRecord> migrations_;
+  // Observability (see set_telemetry). Raw pointers into an externally
+  // owned MetricsRegistry; null means disabled.
+  trace::TraceLog* trace_ = nullptr;
+  metrics::Counter* ctr_migrations_ = nullptr;
+  metrics::Counter* ctr_power_transitions_ = nullptr;
+  metrics::OrderedHistogram* hist_tau_ = nullptr;
+  metrics::OrderedHistogram* hist_energy_ = nullptr;
   std::uint64_t migrations_this_round_ = 0;
   double migration_energy_j_ = 0.0;
   double total_energy_j_ = 0.0;

@@ -1,0 +1,74 @@
+// Minimal deterministic JSON writer for the observability sinks
+// (results/<bench>.json, metrics snapshots, JSONL trace lines).
+//
+// Determinism is the point: the regen pipeline (scripts/regen_experiments.py)
+// and the golden/bit-identity tests diff these bytes, so formatting must be
+// a pure function of the values written. Numbers use the shortest decimal
+// form that round-trips the exact double (no locale, no %g surprises);
+// object keys are emitted in the order the caller writes them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace glap {
+
+/// Shortest decimal string that strtod's back to exactly `v`. Emits
+/// integers without an exponent where possible ("42" not "4.2e1");
+/// non-finite values render as JSON null (they should not occur in metric
+/// output — RunningStats on empty input returns 0).
+[[nodiscard]] std::string json_double(double v);
+
+/// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer with comma/indentation bookkeeping. Values are
+/// written depth-first: begin_object/begin_array open a scope, key() names
+/// the next member inside an object. Pretty-prints with 2-space indents —
+/// stable output, human-diffable results files.
+class JsonWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Names the next member of the enclosing object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& member(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  void pre_value();
+  void newline_indent();
+
+  struct Scope {
+    bool array = false;
+    bool empty = true;
+  };
+
+  std::ostream& out_;
+  std::vector<Scope> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace glap

@@ -19,6 +19,16 @@ class ConsoleTable {
 
   [[nodiscard]] std::string render() const;
 
+  /// Raw cells, for machine-readable sinks (harness::BenchReport) that
+  /// mirror the console tables into results/<bench>.json.
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,93 @@
+#include "common/tracing.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/json.hpp"
+
+namespace glap::trace {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kMigration: return "migration";
+    case Kind::kPower: return "power";
+    case Kind::kShuffle: return "shuffle";
+    case Kind::kOverload: return "overload";
+  }
+  return "?";
+}
+
+void TraceLog::render(const Event& e) {
+  out_ << "{\"ev\":\"" << kind_name(e.kind) << "\",\"round\":" << round_;
+  switch (e.kind) {
+    case Kind::kMigration:
+      out_ << ",\"vm\":" << e.a << ",\"from\":" << e.b << ",\"to\":" << e.c
+           << ",\"cpu\":" << json_double(e.x)
+           << ",\"energy_j\":" << json_double(e.y);
+      break;
+    case Kind::kPower:
+      out_ << ",\"pm\":" << e.a << ",\"on\":" << (e.b ? "true" : "false");
+      break;
+    case Kind::kShuffle:
+      out_ << ",\"initiator\":" << e.a << ",\"peer\":" << e.b
+           << ",\"sent\":" << e.c << ",\"reply\":" << e.d;
+      break;
+    case Kind::kOverload:
+      out_ << ",\"pm\":" << e.a << ",\"cpu\":" << json_double(e.x);
+      break;
+  }
+  out_ << "}\n";
+}
+
+void TraceLog::commit_round() {
+  scratch_.clear();
+  for (auto& buf : buffers_) {
+    scratch_.insert(scratch_.end(), buf.begin(), buf.end());
+    buf.clear();
+  }
+  if (scratch_.empty()) return;
+  std::stable_sort(scratch_.begin(), scratch_.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.order_key != b.order_key
+                                ? a.order_key < b.order_key
+                                : a.seq < b.seq;
+                   });
+  for (const Event& e : scratch_) render(e);
+}
+
+void TraceLog::round_summary(std::uint64_t round, std::uint64_t active_pms,
+                             std::uint64_t overloaded_pms,
+                             std::uint64_t migrations, std::uint64_t messages,
+                             std::uint64_t bytes) {
+  out_ << "{\"ev\":\"round\",\"round\":" << round
+       << ",\"active_pms\":" << active_pms
+       << ",\"overloaded_pms\":" << overloaded_pms
+       << ",\"migrations\":" << migrations << ",\"messages\":" << messages
+       << ",\"bytes\":" << bytes << "}\n";
+}
+
+void TraceLog::qsim(std::uint64_t round, double similarity) {
+  out_ << "{\"ev\":\"qsim\",\"round\":" << round
+       << ",\"similarity\":" << json_double(similarity) << "}\n";
+}
+
+void TraceLog::overload(std::uint64_t round, std::int64_t pm, double cpu) {
+  out_ << "{\"ev\":\"overload\",\"round\":" << round << ",\"pm\":" << pm
+       << ",\"cpu\":" << json_double(cpu) << "}\n";
+}
+
+void TraceLog::relearn(std::uint64_t round) {
+  out_ << "{\"ev\":\"relearn\",\"round\":" << round << "}\n";
+}
+
+void TraceLog::shard_bytes(std::uint64_t round,
+                           const std::vector<std::uint64_t>& per_shard) {
+  out_ << "{\"ev\":\"shard_bytes\",\"round\":" << round << ",\"bytes\":[";
+  for (std::size_t i = 0; i < per_shard.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << per_shard[i];
+  }
+  out_ << "]}\n";
+}
+
+}  // namespace glap::trace

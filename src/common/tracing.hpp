@@ -1,0 +1,101 @@
+// Round-level JSONL event trace. One JSON object per line; events emitted
+// from inside engine interactions are buffered per exec shard with
+// (order_key, seq) tags and rendered in serial interaction order at
+// commit_round() — so the trace bytes are bit-identical between the serial
+// and wave-parallel engines (DESIGN.md §10 lists the schema).
+//
+// Cost when disabled: the harness simply does not construct a TraceLog and
+// instrumented code guards each emit with a single `if (trace_)` pointer
+// test — no formatting, no buffering.
+//
+// Driver-only events (round summaries, Q-similarity probes, re-learning
+// triggers) bypass the ordered buffers and are written directly; they must
+// only be emitted at quiescent points. The per-shard network byte breakdown
+// is execution-dependent (which shard counted a message depends on thread
+// assignment), so it is opt-in and excluded from the determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/exec_context.hpp"
+
+namespace glap::trace {
+
+/// Event kinds rendered into the JSONL "ev" field.
+enum class Kind : std::uint8_t {
+  kMigration,    // a=vm, b=from_pm, c=to_pm, x=cpu, y=energy_j
+  kPower,        // a=pm, b=on(0/1)
+  kShuffle,      // a=initiator, b=peer, c=sent_entries, d=reply_entries
+  kOverload,     // a=pm, x=cpu_utilization
+};
+
+[[nodiscard]] const char* kind_name(Kind k);
+
+/// JSONL trace sink over an externally owned stream.
+class TraceLog {
+ public:
+  /// Writes to `out`; the stream must outlive the log.
+  explicit TraceLog(std::ostream& out) : out_(out) {}
+
+  /// Records an event from inside an engine interaction; rendered in serial
+  /// (order_key, seq) order at commit_round(). seq shares the interaction's
+  /// mutation counter so trace events interleave faithfully with deferred
+  /// DataCenter accounting.
+  void emit(Kind kind, std::int64_t a = 0, std::int64_t b = 0,
+            std::int64_t c = 0, std::int64_t d = 0, double x = 0.0,
+            double y = 0.0) {
+    auto& ctx = exec::context();
+    buffers_[ctx.shard_slot].push_back(
+        {ctx.order_key, ctx.seq++, kind, a, b, c, d, x, y});
+  }
+
+  /// Starts a new round: subsequent events tag this round number.
+  void begin_round(std::uint64_t round) { round_ = round; }
+
+  /// Sorts and renders all events buffered during the current round.
+  /// Call only at quiescent points (after the engine's round barrier).
+  void commit_round();
+
+  // ---- driver-only direct writes (quiescent points only) ----
+
+  /// Per-round aggregate line ("ev":"round"): totals are deterministic.
+  void round_summary(std::uint64_t round, std::uint64_t active_pms,
+                     std::uint64_t overloaded_pms, std::uint64_t migrations,
+                     std::uint64_t messages, std::uint64_t bytes);
+
+  /// Q-table cosine-similarity probe ("ev":"qsim").
+  void qsim(std::uint64_t round, double similarity);
+
+  /// Per-PM overload line ("ev":"overload"); the harness scans PMs in id
+  /// order at the quiescent point after each evaluation round.
+  void overload(std::uint64_t round, std::int64_t pm, double cpu);
+
+  /// GLAP re-learning trigger ("ev":"relearn").
+  void relearn(std::uint64_t round);
+
+  /// Opt-in per-shard network byte breakdown ("ev":"shard_bytes").
+  /// Execution-dependent — which shard counted a message depends on thread
+  /// assignment — hence excluded from the serial/parallel identity contract.
+  void shard_bytes(std::uint64_t round,
+                   const std::vector<std::uint64_t>& per_shard);
+
+ private:
+  struct Event {
+    std::uint64_t order_key;
+    std::uint32_t seq;
+    Kind kind;
+    std::int64_t a, b, c, d;
+    double x, y;
+  };
+  void render(const Event& e);
+
+  std::ostream& out_;
+  std::uint64_t round_ = 0;
+  std::vector<Event> buffers_[exec::kShardCount];
+  std::vector<Event> scratch_;
+};
+
+}  // namespace glap::trace

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
+
 namespace glap::core {
 
 namespace {
@@ -109,10 +111,21 @@ void GlapConsolidationProtocol::execute(sim::Engine& engine, sim::NodeId self,
   const auto peer = sample_peer(engine, self);
   if (!peer) return;
 
+  if (!telemetry_resolved_) {
+    telemetry_resolved_ = true;
+    if (metrics::MetricsRegistry* m = engine.metrics()) {
+      ctr_exchanges_ = m->counter("consolidation.exchanges");
+      ctr_pi_in_rejects_ = m->counter("consolidation.pi_in_rejects");
+      ctr_capacity_rejects_ = m->counter("consolidation.capacity_rejects");
+      ctr_switch_offs_ = m->counter("consolidation.switch_offs");
+    }
+  }
+
   // Push-pull state exchange (Algorithm 3, lines 1-10).
   engine.network().count_message(self, *peer, kStateMsgBytes);
   engine.network().count_message(*peer, self, kStateMsgBytes);
   ++stats_.exchanges;
+  if (ctr_exchanges_ != nullptr) ctr_exchanges_->inc();
 
   update_state(engine, static_cast<cloud::PmId>(self),
                static_cast<cloud::PmId>(*peer));
@@ -153,6 +166,7 @@ void GlapConsolidationProtocol::update_state(sim::Engine& engine,
     engine.set_status(static_cast<sim::NodeId>(sender),
                       sim::NodeStatus::kSleeping);
     ++stats_.switch_offs;
+    if (ctr_switch_offs_ != nullptr) ctr_switch_offs_->inc();
   }
 }
 
@@ -217,10 +231,12 @@ std::size_t GlapConsolidationProtocol::migrate_loop(sim::Engine& engine,
     // π_in evaluated on the sender's copy of the (unified) IN table.
     if (tables.in.value(pm_state(recipient), action) < 0.0) {
       ++stats_.rejected_by_pi_in;
+      if (ctr_pi_in_rejects_ != nullptr) ctr_pi_in_rejects_->inc();
       break;
     }
     if (!dc_.can_host(recipient, vm)) {
       ++stats_.rejected_by_capacity;
+      if (ctr_capacity_rejects_ != nullptr) ctr_capacity_rejects_->inc();
       break;
     }
 

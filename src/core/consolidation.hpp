@@ -21,6 +21,8 @@
 #include "core/gossip_learning.hpp"
 #include "overlay/neighbor_provider.hpp"
 
+// glap::metrics::Counter is forward-declared by gossip_learning.hpp.
+
 namespace glap::core {
 
 /// Per-run consolidation counters (for tests and ablation benches).
@@ -90,6 +92,12 @@ class GlapConsolidationProtocol final : public sim::Protocol {
   Rng rng_;
   ConsolidationStats stats_;
   sim::Round cycles_ = 0;
+  // Registry mirrors of stats_ (shared across instances; null = disabled).
+  bool telemetry_resolved_ = false;
+  metrics::Counter* ctr_exchanges_ = nullptr;
+  metrics::Counter* ctr_pi_in_rejects_ = nullptr;
+  metrics::Counter* ctr_capacity_rejects_ = nullptr;
+  metrics::Counter* ctr_switch_offs_ = nullptr;
 };
 
 }  // namespace glap::core

@@ -1,5 +1,7 @@
 #include "core/gossip_learning.hpp"
 
+#include "common/metrics.hpp"
+
 namespace glap::core {
 
 namespace {
@@ -84,6 +86,13 @@ void GossipLearningProtocol::select_peers(sim::Engine& engine,
 
 void GossipLearningProtocol::execute(sim::Engine& engine, sim::NodeId self,
                                      const sim::PeerSet& /*peers*/) {
+  if (!telemetry_resolved_) {
+    telemetry_resolved_ = true;
+    if (metrics::MetricsRegistry* m = engine.metrics()) {
+      ctr_train_ = m->counter("learning.train_cycles");
+      ctr_merge_ = m->counter("learning.merges");
+    }
+  }
   const Phase current = phase();
   ++cycles_;
   switch (current) {
@@ -121,6 +130,7 @@ void GossipLearningProtocol::learning_cycle(sim::Engine& engine,
   }
   pool = trainer_.duplicate_if_required(std::move(pool));
   trainer_.train_round(pool, tables_);
+  if (ctr_train_ != nullptr) ctr_train_->inc();
 }
 
 void GossipLearningProtocol::aggregation_cycle(sim::Engine& engine,
@@ -144,6 +154,7 @@ void GossipLearningProtocol::aggregation_cycle(sim::Engine& engine,
   // third table.
   tables_.merge_average(remote.tables_);
   remote.tables_ = tables_;
+  if (ctr_merge_ != nullptr) ctr_merge_->inc();
 }
 
 }  // namespace glap::core

@@ -16,6 +16,10 @@
 #include "core/qtable_pair.hpp"
 #include "overlay/neighbor_provider.hpp"
 
+namespace glap::metrics {
+class Counter;
+}
+
 namespace glap::core {
 
 class GossipLearningProtocol final : public sim::Protocol {
@@ -70,6 +74,9 @@ class GossipLearningProtocol final : public sim::Protocol {
   sim::Engine::ProtocolSlot overlay_slot_;
   sim::Engine::ProtocolSlot self_slot_ = 0;
   bool self_slot_known_ = false;
+  bool telemetry_resolved_ = false;
+  metrics::Counter* ctr_train_ = nullptr;  ///< learning.train_cycles
+  metrics::Counter* ctr_merge_ = nullptr;  ///< learning.merges
   LocalTrainer trainer_;
   QTablePair tables_;
   sim::Round cycles_ = 0;

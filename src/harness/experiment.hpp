@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 
@@ -102,6 +103,39 @@ struct ChurnConfig {
   sim::Round relearn_min_interval = 60;
 };
 
+/// Observability knobs (DESIGN.md §10). Everything defaults to off; a run
+/// with the defaults constructs no registry and no trace log, so the only
+/// cost instrumented code pays is one null-pointer test per site.
+struct ObservabilityConfig {
+  /// Collect counters/gauges/histograms/per-round series into a
+  /// MetricsRegistry, returned via RunResult::metrics. Implied by any of
+  /// the sink paths below.
+  bool metrics = false;
+
+  /// Non-empty: stream the round-level JSONL event trace to this file.
+  std::string trace_path;
+  /// Test hook: stream the trace to this stream instead of a file (takes
+  /// precedence over trace_path; not owned).
+  std::ostream* trace_sink = nullptr;
+  /// Also emit per-round per-shard network byte breakdowns ("shard_bytes"
+  /// events). Execution-dependent — which shard counted a message depends
+  /// on thread assignment — so this is excluded from the serial/parallel
+  /// bit-identity contract. Default off.
+  bool trace_shard_detail = false;
+
+  /// Non-empty: write the full registry snapshot (JSON) here at run end.
+  std::string metrics_json_path;
+  /// Non-empty: write all per-round series side by side as CSV here.
+  std::string series_csv_path;
+
+  [[nodiscard]] bool metrics_enabled() const noexcept {
+    return metrics || !metrics_json_path.empty() || !series_csv_path.empty();
+  }
+  [[nodiscard]] bool trace_enabled() const noexcept {
+    return trace_sink != nullptr || !trace_path.empty();
+  }
+};
+
 struct ExperimentConfig {
   Algorithm algorithm = Algorithm::kGlap;
   std::size_t pm_count = 1000;
@@ -134,6 +168,8 @@ struct ExperimentConfig {
   bool track_convergence = false;
   /// Node pairs sampled per round for the convergence estimate.
   std::size_t convergence_pairs = 128;
+
+  ObservabilityConfig observability;
 
   cloud::DataCenterConfig datacenter;
   FleetMix fleet;

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 
 namespace glap::harness {
@@ -53,6 +55,10 @@ struct RunResult {
   /// Mean per-round Q-table cosine similarity across sampled PM pairs,
   /// one entry per warmup round (filled when track_convergence is set).
   std::vector<double> convergence;
+
+  /// The run's metric registry (counters/gauges/histograms/series), or
+  /// null when ObservabilityConfig::metrics_enabled() was false.
+  std::shared_ptr<metrics::MetricsRegistry> metrics;
 
   // Derived helpers -------------------------------------------------------
 

@@ -1,0 +1,62 @@
+// Machine-readable bench results: every figure/table bench binary mirrors
+// the tables it prints into results/<bench>.json so downstream tooling
+// (scripts/regen_experiments.py, the CI docs-drift stage) can rebuild the
+// EXPERIMENTS.md tables without scraping console output.
+//
+// Cell values are stored as *preformatted strings* — the C++ side owns all
+// number formatting, so a regenerated document is byte-identical to one
+// built from the same JSON regardless of the consumer's float printing.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness/bench_scale.hpp"
+
+namespace glap::harness {
+
+class BenchReport {
+ public:
+  /// `bench` names the output file (results/<bench>.json); `title` is the
+  /// human-readable headline (mirrors the console banner).
+  BenchReport(std::string bench, std::string title);
+
+  void set_scale(const BenchScale& scale) { scale_ = scale; }
+
+  /// Adds a named table; rows are preformatted cell strings.
+  void add_table(const std::string& name, std::vector<std::string> columns,
+                 std::vector<std::vector<std::string>> rows);
+
+  /// Mirrors a console table verbatim.
+  void add_table(const std::string& name, const ConsoleTable& table) {
+    add_table(name, table.header(), table.rows());
+  }
+
+  /// Adds a key → preformatted-value headline (reduction percentages,
+  /// totals — the numbers EXPERIMENTS.md quotes inline).
+  void add_headline(const std::string& key, const std::string& value);
+
+  /// Directory bench results land in: $GLAP_RESULTS_DIR or "results"
+  /// (created on demand).
+  [[nodiscard]] static std::string results_dir();
+
+  /// Writes results_dir()/<bench>.json and returns the path written.
+  std::string write() const;
+
+ private:
+  struct Table {
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string bench_;
+  std::string title_;
+  BenchScale scale_{};
+  std::vector<Table> tables_;
+  std::vector<std::pair<std::string, std::string>> headlines_;
+};
+
+}  // namespace glap::harness

@@ -1,9 +1,14 @@
 #include "harness/runner.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 
 #include "baselines/bfd.hpp"
+#include "common/metrics.hpp"
+#include "common/tracing.hpp"
 #include "core/glap.hpp"
 #include "trace/demand_model.hpp"
 
@@ -111,6 +116,37 @@ RunResult run_experiment(const ExperimentConfig& config) {
   if (config.rack_size > 0)
     topology.emplace(config.pm_count, config.rack_size,
                      config.rack_switch_watts);
+
+  // --- Observability -----------------------------------------------------
+  // Sinks attach BEFORE protocol install so instrumented code resolves its
+  // instruments from a registry that exists for the whole run. Off by
+  // default: no registry, no trace log, one null check per instrumented
+  // site.
+  const ObservabilityConfig& obs = config.observability;
+  std::shared_ptr<metrics::MetricsRegistry> registry;
+  if (obs.metrics_enabled()) {
+    registry = std::make_shared<metrics::MetricsRegistry>();
+    // Pre-register the harness series (and shared instrument names) on the
+    // driver thread; name-sorted output makes this cosmetic, but it keeps
+    // all registration out of the engine's execution phase.
+    registry->series("active_pms");
+    registry->series("overloaded_pms");
+    registry->series("migrations_round");
+    registry->series("net_messages");
+    registry->series("net_bytes");
+  }
+  std::ofstream trace_file;
+  std::optional<trace::TraceLog> trace_log;
+  if (obs.trace_sink != nullptr) {
+    trace_log.emplace(*obs.trace_sink);
+  } else if (!obs.trace_path.empty()) {
+    trace_file.open(obs.trace_path);
+    GLAP_REQUIRE(trace_file.is_open(), "cannot open trace_path for writing");
+    trace_log.emplace(trace_file);
+  }
+  trace::TraceLog* trace = trace_log ? &*trace_log : nullptr;
+  engine.set_telemetry(registry.get(), trace);
+  dc.set_telemetry(registry.get(), trace);
 
   // --- Protocol stack ----------------------------------------------------
   auto install_overlay = [&] {
@@ -233,6 +269,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
           .retrigger(config.churn.relearn_learning_rounds,
                      config.churn.relearn_aggregation_rounds);
     ++result.relearn_triggers;
+    if (trace != nullptr) trace->relearn(engine.current_round());
     churn_events_since_relearn = 0;
     rounds_since_relearn = 0;
   };
@@ -248,12 +285,18 @@ RunResult run_experiment(const ExperimentConfig& config) {
   for (sim::Round r = 0; r < config.warmup_rounds; ++r) {
     advance_demands();
     if (!baseline_idles_in_warmup) {
+      if (trace != nullptr) trace->begin_round(engine.current_round());
       engine.step();
       dc.commit_deferred_accounting();
-      if (config.track_convergence && glap_slots)
+      if (registry) registry->commit_round();
+      if (trace != nullptr) trace->commit_round();
+      if (config.track_convergence && glap_slots) {
         result.convergence.push_back(
             sample_convergence(engine, glap_slots->learning,
                                config.convergence_pairs, convergence_rng));
+        if (trace != nullptr)
+          trace->qsim(engine.current_round() - 1, result.convergence.back());
+      }
     }
     // Note: no dc.end_round() — warmup time does not count toward SLA,
     // energy, or migration metrics; demand averages still accumulate.
@@ -263,12 +306,24 @@ RunResult run_experiment(const ExperimentConfig& config) {
   const std::uint64_t warmup_messages = engine.network().messages();
   const std::uint64_t warmup_bytes = engine.network().bytes();
 
+  std::uint64_t prev_messages = engine.network().messages();
+  std::uint64_t prev_bytes = engine.network().bytes();
+
   for (sim::Round r = 0; r < config.rounds; ++r) {
+    const std::uint64_t round = engine.current_round();
+    if (trace != nullptr) trace->begin_round(round);
     advance_demands();
     churn_step();
     maybe_relearn();
+    // Flush events the churn machinery emitted on the driver thread (PM
+    // wakes) before any interaction events join the buffers — driver-phase
+    // and engine-phase events must not share a sort batch, because the
+    // driver context's tags are not part of the determinism contract.
+    if (trace != nullptr) trace->commit_round();
     engine.step();
     dc.commit_deferred_accounting();
+    if (registry) registry->commit_round();
+    if (trace != nullptr) trace->commit_round();
 
     RoundSample sample;
     sample.round = r;
@@ -286,6 +341,31 @@ RunResult run_experiment(const ExperimentConfig& config) {
           topology->switch_energy_joules(dc, config.datacenter.round_seconds);
     }
     result.rounds.push_back(sample);
+
+    const std::uint64_t messages = engine.network().messages();
+    const std::uint64_t bytes = engine.network().bytes();
+    if (registry) {
+      registry->series("active_pms")->append(sample.active_pms);
+      registry->series("overloaded_pms")->append(sample.overloaded_pms);
+      registry->series("migrations_round")->append(sample.migrations_round);
+      registry->series("net_messages")
+          ->append(static_cast<double>(messages - prev_messages));
+      registry->series("net_bytes")
+          ->append(static_cast<double>(bytes - prev_bytes));
+    }
+    if (trace != nullptr) {
+      trace->round_summary(round, sample.active_pms, sample.overloaded_pms,
+                           sample.migrations_round, messages - prev_messages,
+                           bytes - prev_bytes);
+      for (cloud::PmId p = 0; p < dc.pm_count(); ++p)
+        if (dc.pm(p).is_on() && dc.overloaded(p))
+          trace->overload(round, static_cast<std::int64_t>(p),
+                          dc.current_utilization(p).cpu);
+      if (obs.trace_shard_detail)
+        trace->shard_bytes(round, engine.network().bytes_per_shard());
+    }
+    prev_messages = messages;
+    prev_bytes = bytes;
 
     dc.end_round();
   }
@@ -313,6 +393,25 @@ RunResult run_experiment(const ExperimentConfig& config) {
       static_cast<std::uint32_t>(dc.overloaded_pm_count());
   result.final_bfd_bins =
       static_cast<std::uint32_t>(baselines::bfd_bin_count(dc));
+
+  if (registry) {
+    registry->gauge("slavo")->set(result.slavo);
+    registry->gauge("slalm")->set(result.slalm);
+    registry->gauge("slav")->set(result.slav);
+    registry->gauge("total_energy_j")->set(result.total_energy_j);
+    registry->gauge("migration_energy_j")->set(result.migration_energy_j);
+    if (!obs.metrics_json_path.empty()) {
+      std::ofstream out(obs.metrics_json_path);
+      GLAP_REQUIRE(out.is_open(), "cannot open metrics_json_path");
+      registry->write_json(out);
+    }
+    if (!obs.series_csv_path.empty()) {
+      std::ofstream out(obs.series_csv_path);
+      GLAP_REQUIRE(out.is_open(), "cannot open series_csv_path");
+      registry->write_series_csv(out);
+    }
+    result.metrics = registry;
+  }
   return result;
 }
 

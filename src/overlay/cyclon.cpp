@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
+#include "common/tracing.hpp"
+
 namespace glap::overlay {
 
 namespace {
@@ -187,9 +190,20 @@ void CyclonProtocol::select_peers(sim::Engine& engine, sim::NodeId /*self*/,
   }
 }
 
+void CyclonProtocol::resolve_telemetry(sim::Engine& engine) {
+  // Runs once per instance; the registry's get-or-create is mutex-guarded
+  // and the instruments are shared across all Cyclon instances.
+  telemetry_resolved_ = true;
+  if (metrics::MetricsRegistry* m = engine.metrics()) {
+    ctr_shuffles_ = m->counter("cyclon.shuffles");
+    hist_entries_ = m->histogram("cyclon.shuffle_entries");
+  }
+}
+
 void CyclonProtocol::execute(sim::Engine& engine, sim::NodeId self,
                              const sim::PeerSet& /*peers*/) {
   GLAP_ASSERT(slot_known_, "cyclon used before install()");
+  if (!telemetry_resolved_) resolve_telemetry(engine);
   for (auto& entry : cache_) ++entry.age;
 
   for (std::size_t attempt = 0;
@@ -211,6 +225,16 @@ void CyclonProtocol::execute(sim::Engine& engine, sim::NodeId self,
     auto& remote = engine.protocol_at<CyclonProtocol>(slot_, peer);
     const auto& reply = remote.handle_shuffle(peer, self, scratch_outgoing_);
     engine.network().count_message(peer, self, reply.size() * kEntryBytes);
+    if (ctr_shuffles_ != nullptr) {
+      ctr_shuffles_->inc();
+      hist_entries_->observe(
+          static_cast<double>(scratch_outgoing_.size() + reply.size()));
+    }
+    if (trace::TraceLog* t = engine.trace_log())
+      t->emit(trace::Kind::kShuffle, static_cast<std::int64_t>(self),
+              static_cast<std::int64_t>(peer),
+              static_cast<std::int64_t>(scratch_outgoing_.size()),
+              static_cast<std::int64_t>(reply.size()));
     merge(self, reply, scratch_sent_);
     return;
   }

@@ -17,6 +17,11 @@
 #include "common/rng.hpp"
 #include "overlay/neighbor_provider.hpp"
 
+namespace glap::metrics {
+class Counter;
+class OrderedHistogram;
+}  // namespace glap::metrics
+
 namespace glap::overlay {
 
 struct CyclonConfig {
@@ -81,11 +86,18 @@ class CyclonProtocol final : public NeighborProvider {
                           std::optional<std::size_t> forced,
                           std::vector<Entry>& out);
 
+  /// Resolves (once per instance) the shared shuffle instruments from the
+  /// engine's registry; no-ops into the disabled state when none attached.
+  void resolve_telemetry(sim::Engine& engine);
+
   CyclonConfig config_;
   Rng rng_;
   std::vector<Entry> cache_;
   sim::Engine::ProtocolSlot slot_ = 0;
   bool slot_known_ = false;
+  bool telemetry_resolved_ = false;
+  metrics::Counter* ctr_shuffles_ = nullptr;          ///< cyclon.shuffles
+  metrics::OrderedHistogram* hist_entries_ = nullptr;  ///< cyclon.shuffle_entries
 
   // Scratch buffers reused across rounds: the shuffle exchange used to
   // allocate fresh vectors on both sides every round.

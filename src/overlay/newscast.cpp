@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
+#include "common/tracing.hpp"
+
 namespace glap::overlay {
 
 namespace {
@@ -131,6 +134,11 @@ void NewscastProtocol::select_peers(sim::Engine& engine, sim::NodeId /*self*/,
 void NewscastProtocol::execute(sim::Engine& engine, sim::NodeId self,
                                const sim::PeerSet& /*peers*/) {
   GLAP_ASSERT(slot_known_, "newscast used before install()");
+  if (!telemetry_resolved_) {
+    telemetry_resolved_ = true;
+    if (metrics::MetricsRegistry* m = engine.metrics())
+      ctr_exchanges_ = m->counter("newscast.exchanges");
+  }
   const auto now = static_cast<std::uint32_t>(engine.current_round() + 1);
   for (std::size_t attempt = 0;
        attempt <= config_.dead_peer_retries && !cache_.empty(); ++attempt) {
@@ -146,6 +154,12 @@ void NewscastProtocol::execute(sim::Engine& engine, sim::NodeId self,
     auto& remote = engine.protocol_at<NewscastProtocol>(slot_, peer);
     const auto reply = remote.handle_exchange(peer, self, outgoing, now);
     engine.network().count_message(peer, self, reply.size() * kItemBytes);
+    if (ctr_exchanges_ != nullptr) ctr_exchanges_->inc();
+    if (trace::TraceLog* t = engine.trace_log())
+      t->emit(trace::Kind::kShuffle, static_cast<std::int64_t>(self),
+              static_cast<std::int64_t>(peer),
+              static_cast<std::int64_t>(outgoing.size()),
+              static_cast<std::int64_t>(reply.size()));
     std::vector<Item> incoming = reply;
     incoming.push_back({peer, now});
     merge(self, incoming);

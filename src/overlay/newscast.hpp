@@ -16,6 +16,10 @@
 #include "common/rng.hpp"
 #include "overlay/neighbor_provider.hpp"
 
+namespace glap::metrics {
+class Counter;
+}
+
 namespace glap::overlay {
 
 struct NewscastConfig {
@@ -72,6 +76,8 @@ class NewscastProtocol final : public NeighborProvider {
   std::vector<Item> scratch_select_;  ///< select_peers dry-run copy
   sim::Engine::ProtocolSlot slot_ = 0;
   bool slot_known_ = false;
+  bool telemetry_resolved_ = false;
+  metrics::Counter* ctr_exchanges_ = nullptr;  ///< newscast.exchanges
 
   friend struct NewscastInstaller;
 };

@@ -57,6 +57,13 @@
 #include "sim/node.hpp"
 #include "sim/protocol.hpp"
 
+namespace glap::metrics {
+class MetricsRegistry;
+}
+namespace glap::trace {
+class TraceLog;
+}
+
 namespace glap::sim {
 
 namespace detail {
@@ -189,6 +196,22 @@ class Engine {
   /// consume this stream (it is counter-hashed from the seed).
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
+  /// Attaches the observability sinks (neither owned; either may be null).
+  /// Install BEFORE protocols so instrumented code can resolve and cache
+  /// its instruments on the driver thread. Protocols read these through
+  /// metrics()/trace_log() and must guard every use with a null check —
+  /// a null pointer is the disabled state and costs one predictable branch.
+  void set_telemetry(metrics::MetricsRegistry* metrics,
+                     trace::TraceLog* trace) noexcept {
+    metrics_ = metrics;
+    trace_ = trace;
+  }
+
+  [[nodiscard]] metrics::MetricsRegistry* metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] trace::TraceLog* trace_log() const noexcept { return trace_; }
+
  private:
   using TypeTag = const void*;
 
@@ -271,6 +294,8 @@ class Engine {
   std::vector<NodeId> order_;
   std::vector<std::uint64_t> order_keys_;  ///< per-node sort key, scratch
   NetworkStats network_;
+  metrics::MetricsRegistry* metrics_ = nullptr;
+  trace::TraceLog* trace_ = nullptr;
   Rng rng_;
   std::uint64_t order_seed_;
   Round round_ = 0;

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/exec_context.hpp"
 #include "sim/node.hpp"
@@ -41,6 +42,17 @@ class NetworkStats {
     std::uint64_t total = 0;
     for (const Shard& shard : shards_) total += shard.bytes;
     return total;
+  }
+
+  /// Per-shard byte counts for the opt-in "shard_bytes" trace event. The
+  /// breakdown is execution-dependent (which shard counted a message depends
+  /// on thread assignment); only the sum is deterministic. Quiescent points
+  /// only.
+  [[nodiscard]] std::vector<std::uint64_t> bytes_per_shard() const {
+    std::vector<std::uint64_t> out(exec::kShardCount);
+    for (std::size_t i = 0; i < exec::kShardCount; ++i)
+      out[i] = shards_[i].bytes;
+    return out;
   }
 
  private:

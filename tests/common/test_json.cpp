@@ -1,0 +1,116 @@
+// json_double round-tripping and JsonWriter formatting — the byte-level
+// determinism the results files, metric snapshots and trace lines rely on.
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace glap {
+namespace {
+
+double parse(const std::string& s) { return std::strtod(s.c_str(), nullptr); }
+
+TEST(JsonDouble, IntegersPrintWithoutExponentOrFraction) {
+  EXPECT_EQ(json_double(0.0), "0");
+  EXPECT_EQ(json_double(42.0), "42");
+  EXPECT_EQ(json_double(-7.0), "-7");
+  EXPECT_EQ(json_double(1e6), "1000000");
+}
+
+TEST(JsonDouble, RoundTripsExactly) {
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           2.5,
+                           -0.875,
+                           3.141592653589793,
+                           1e-9,
+                           6.02214076e23,
+                           123456.789,
+                           std::nextafter(1.0, 2.0)};
+  for (const double v : values) {
+    const std::string s = json_double(v);
+    EXPECT_EQ(parse(s), v) << s;
+  }
+}
+
+TEST(JsonDouble, UsesShortestForm) {
+  // 0.1 must not be dumped as its full 17-digit expansion.
+  EXPECT_EQ(json_double(0.1), "0.1");
+  EXPECT_EQ(json_double(2.5), "2.5");
+}
+
+TEST(JsonDouble, NegativeZeroKeepsSign) {
+  EXPECT_EQ(json_double(-0.0), "-0");
+}
+
+TEST(JsonDouble, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_double(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, WritesPrettyPrintedObject) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("name", "glap");
+  w.member("pi", 3.5);
+  w.member("count", std::uint64_t{3});
+  w.member("ok", true);
+  w.key("list").begin_array();
+  w.value(1).value(2);
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"name\": \"glap\",\n"
+            "  \"pi\": 3.5,\n"
+            "  \"count\": 3,\n"
+            "  \"ok\": true,\n"
+            "  \"list\": [\n"
+            "    1,\n"
+            "    2\n"
+            "  ]\n"
+            "}");
+}
+
+TEST(JsonWriter, EmptyContainersStayOnOneLine) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("a").begin_array().end_array();
+  w.key("o").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"a\": [],\n"
+            "  \"o\": {}\n"
+            "}");
+}
+
+TEST(JsonWriter, SameValuesSameBytes) {
+  auto render = [] {
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.begin_object();
+    w.member("x", 0.30000000000000004);
+    w.end_object();
+    return out.str();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+}  // namespace
+}  // namespace glap

@@ -1,0 +1,103 @@
+// TraceLog: serial-order rendering of buffered interaction events and the
+// JSONL shapes of the driver-direct lines.
+#include "common/tracing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/exec_context.hpp"
+
+namespace glap::trace {
+namespace {
+
+struct ContextGuard {
+  ContextGuard() : saved(exec::context()) {}
+  ~ContextGuard() { exec::context() = saved; }
+  exec::Context saved;
+};
+
+TEST(KindName, NamesAllKinds) {
+  EXPECT_STREQ(kind_name(Kind::kMigration), "migration");
+  EXPECT_STREQ(kind_name(Kind::kPower), "power");
+  EXPECT_STREQ(kind_name(Kind::kShuffle), "shuffle");
+  EXPECT_STREQ(kind_name(Kind::kOverload), "overload");
+}
+
+TEST(TraceLog, RendersBufferedEventsInOrderKeyOrder) {
+  ContextGuard guard;
+  std::ostringstream out;
+  TraceLog log(out);
+  log.begin_round(3);
+
+  // Emit from two shards with order keys reversed relative to emit order.
+  auto& ctx = exec::context();
+  ctx.shard_slot = 2;
+  ctx.order_key = 5;
+  ctx.seq = 0;
+  log.emit(Kind::kPower, 9, 1);
+  ctx.shard_slot = 1;
+  ctx.order_key = 1;
+  ctx.seq = 0;
+  log.emit(Kind::kMigration, 7, 2, 4, 0, 0.5, 125.0);
+  log.commit_round();
+
+  EXPECT_EQ(out.str(),
+            "{\"ev\":\"migration\",\"round\":3,\"vm\":7,\"from\":2,\"to\":4,"
+            "\"cpu\":0.5,\"energy_j\":125}\n"
+            "{\"ev\":\"power\",\"round\":3,\"pm\":9,\"on\":true}\n");
+}
+
+TEST(TraceLog, SeqOrdersEventsWithinOneInteraction) {
+  ContextGuard guard;
+  std::ostringstream out;
+  TraceLog log(out);
+  log.begin_round(0);
+  auto& ctx = exec::context();
+  ctx.shard_slot = 1;
+  ctx.order_key = 4;
+  ctx.seq = 0;
+  log.emit(Kind::kPower, 1, 0);  // seq 0: off
+  log.emit(Kind::kPower, 1, 1);  // seq 1: on
+  log.commit_round();
+  EXPECT_EQ(out.str(),
+            "{\"ev\":\"power\",\"round\":0,\"pm\":1,\"on\":false}\n"
+            "{\"ev\":\"power\",\"round\":0,\"pm\":1,\"on\":true}\n");
+}
+
+TEST(TraceLog, CommitClearsBuffersBetweenRounds) {
+  ContextGuard guard;
+  std::ostringstream out;
+  TraceLog log(out);
+  log.begin_round(1);
+  exec::context().order_key = 0;
+  exec::context().seq = 0;
+  log.emit(Kind::kShuffle, 1, 2, 3, 4);
+  log.commit_round();
+  log.begin_round(2);
+  log.commit_round();  // nothing new: no extra output
+  EXPECT_EQ(out.str(),
+            "{\"ev\":\"shuffle\",\"round\":1,\"initiator\":1,\"peer\":2,"
+            "\"sent\":3,\"reply\":4}\n");
+}
+
+TEST(TraceLog, DriverDirectLines) {
+  std::ostringstream out;
+  TraceLog log(out);
+  log.round_summary(12, 100, 3, 7, 450, 9000);
+  log.qsim(12, 0.875);
+  log.overload(12, 42, 0.96875);
+  log.relearn(13);
+  log.shard_bytes(13, {64, 0, 128});
+  EXPECT_EQ(out.str(),
+            "{\"ev\":\"round\",\"round\":12,\"active_pms\":100,"
+            "\"overloaded_pms\":3,\"migrations\":7,\"messages\":450,"
+            "\"bytes\":9000}\n"
+            "{\"ev\":\"qsim\",\"round\":12,\"similarity\":0.875}\n"
+            "{\"ev\":\"overload\",\"round\":12,\"pm\":42,\"cpu\":0.96875}\n"
+            "{\"ev\":\"relearn\",\"round\":13}\n"
+            "{\"ev\":\"shard_bytes\",\"round\":13,\"bytes\":[64,0,128]}\n");
+}
+
+}  // namespace
+}  // namespace glap::trace

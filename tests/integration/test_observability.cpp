@@ -1,0 +1,138 @@
+// Observability integration: the JSONL trace of a tiny 8-PM GLAP run
+// matches a committed golden file byte-for-byte, and metric/trace output
+// is bit-identical between the serial and wave-parallel engines.
+//
+// Regenerate the golden file after an intentional trace-schema change:
+//
+//   GLAP_UPDATE_GOLDEN=1 ./build/tests/test_integration \
+//       --gtest_filter='Observability.TraceMatchesGoldenFile'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/metrics.hpp"
+#include "harness/runner.hpp"
+
+namespace glap::harness {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.algorithm = Algorithm::kGlap;
+  config.pm_count = 8;
+  config.vm_ratio = 2;
+  config.warmup_rounds = 20;
+  config.rounds = 8;
+  config.seed = 5;
+  config.fit_glap_phases_to_warmup();
+  return config;
+}
+
+struct Captured {
+  std::string trace;
+  std::string metrics_json;
+};
+
+Captured run_captured(ExperimentConfig config) {
+  std::ostringstream sink;
+  config.observability.metrics = true;
+  config.observability.trace_sink = &sink;
+  const RunResult result = run_experiment(config);
+  Captured captured;
+  captured.trace = sink.str();
+  std::ostringstream metrics_out;
+  result.metrics->write_json(metrics_out);
+  captured.metrics_json = metrics_out.str();
+  return captured;
+}
+
+TEST(Observability, TraceMatchesGoldenFile) {
+  const std::string path =
+      std::string(GLAP_TESTS_DIR) + "/integration/golden/trace_8pm.jsonl";
+  const Captured captured = run_captured(tiny_config());
+  ASSERT_FALSE(captured.trace.empty());
+
+  if (std::getenv("GLAP_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.is_open()) << path;
+    out << captured.trace;
+    GTEST_SKIP() << "golden file regenerated: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << path << " missing; run with GLAP_UPDATE_GOLDEN=1 to create it";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(captured.trace, golden.str())
+      << "trace schema or event stream changed; if intentional, regenerate "
+         "with GLAP_UPDATE_GOLDEN=1";
+}
+
+TEST(Observability, TraceCarriesTheExpectedEventMix) {
+  const Captured captured = run_captured(tiny_config());
+  const ExperimentConfig config = tiny_config();
+  std::size_t round_lines = 0;
+  std::istringstream lines(captured.trace);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("{\"ev\":\"round\"", 0) == 0) ++round_lines;
+  }
+  // One summary line per evaluation round.
+  EXPECT_EQ(round_lines, config.rounds);
+  // The GLAP warmup emits gossip shuffles.
+  EXPECT_NE(captured.trace.find("\"ev\":\"shuffle\""), std::string::npos);
+}
+
+TEST(Observability, MetricsAndTraceBitIdenticalSerialVsParallel) {
+  ExperimentConfig config;
+  config.algorithm = Algorithm::kGlap;
+  config.pm_count = 32;
+  config.vm_ratio = 3;
+  config.warmup_rounds = 40;
+  config.rounds = 15;
+  config.seed = 9;
+  config.fit_glap_phases_to_warmup();
+
+  const Captured serial = run_captured(config);
+  config.engine_threads = 4;
+  const Captured parallel = run_captured(config);
+
+  EXPECT_EQ(serial.trace, parallel.trace);
+  EXPECT_EQ(serial.metrics_json, parallel.metrics_json);
+}
+
+TEST(Observability, MetricsSinksWriteFiles) {
+  ExperimentConfig config = tiny_config();
+  const std::string dir = ::testing::TempDir();
+  config.observability.metrics_json_path = dir + "glap_metrics_test.json";
+  config.observability.series_csv_path = dir + "glap_series_test.csv";
+  const RunResult result = run_experiment(config);
+  ASSERT_NE(result.metrics, nullptr);
+
+  std::ifstream json_in(config.observability.metrics_json_path);
+  ASSERT_TRUE(json_in.is_open());
+  std::stringstream json_buf;
+  json_buf << json_in.rdbuf();
+  EXPECT_NE(json_buf.str().find("\"counters\""), std::string::npos);
+  EXPECT_NE(json_buf.str().find("\"dc.migrations\""), std::string::npos);
+
+  std::ifstream csv_in(config.observability.series_csv_path);
+  ASSERT_TRUE(csv_in.is_open());
+  std::string header;
+  std::getline(csv_in, header);
+  EXPECT_EQ(header,
+            "round,active_pms,migrations_round,net_bytes,net_messages,"
+            "overloaded_pms");
+}
+
+TEST(Observability, DisabledRunPublishesNoRegistry) {
+  const RunResult result = run_experiment(tiny_config());
+  EXPECT_EQ(result.metrics, nullptr);
+}
+
+}  // namespace
+}  // namespace glap::harness
