@@ -1,8 +1,8 @@
 // Trace-overhead smoke: the observability layer must be (near) free when
 // it is off, and cheap when it is on.
 //
-// Two checks, both on the BENCH_engine.json glap_150pm shape (150 PMs,
-// 200 warmup + 150 eval rounds, serial engine):
+// Checks 1-2 run on the BENCH_engine.json glap_150pm shape (150 PMs,
+// 200 warmup + 150 eval rounds, serial engine); check 3 runs at 1000 PMs:
 //
 //   1. enabled-cost gate (hard): rounds/sec with metrics + full JSONL
 //      tracing enabled must stay above --min-on-ratio (default 0.5) of
@@ -12,6 +12,12 @@
 //      (or --reference <path>). Throughput below --min-ref-ratio
 //      (default 0.5, generous because the recorded number is
 //      host-dependent) fails; a missing reference file only warns.
+//   3. metrics-only gate (hard): at 1000 PMs, metrics ON with tracing OFF
+//      must stay above --min-metrics-ratio (default 0.9) of metrics OFF —
+//      the registry's per-shard counters are the only instrumentation on
+//      that path, and they must cost no more than a few percent.
+//
+// All measured numbers land in results/trace_overhead.json.
 //
 // scripts/ci.sh runs this as its trace-overhead stage:
 //
@@ -63,6 +69,29 @@ double rounds_per_sec(std::ostringstream* sink, int reps) {
   return best;
 }
 
+/// Best-of-`reps` rounds/sec at 1000 PMs with tracing off throughout;
+/// `metrics_on` toggles the registry (the only instrumentation measured).
+double metrics_rounds_per_sec(bool metrics_on, int reps) {
+  harness::ExperimentConfig config = overhead_config();
+  config.pm_count = 1000;
+  config.warmup_rounds = 80;
+  config.rounds = 60;
+  config.fit_glap_phases_to_warmup();
+  config.observability.metrics = metrics_on;
+  const double total_rounds =
+      static_cast<double>(config.warmup_rounds + config.rounds);
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = Clock::now();
+    const auto result = harness::run_experiment(config);
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (result.rounds.size() != config.rounds) std::abort();
+    best = std::max(best, total_rounds / elapsed);
+  }
+  return best;
+}
+
 /// Extracts `"key": <number>` from a JSON file by string search — enough
 /// for the flat committed baseline records.
 bool find_number(const std::string& path, const char* key, double* out) {
@@ -91,6 +120,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--reference") == 0) reference = argv[i + 1];
   const double min_on_ratio = arg_ratio(argc, argv, "--min-on-ratio", 0.5);
   const double min_ref_ratio = arg_ratio(argc, argv, "--min-ref-ratio", 0.5);
+  const double min_metrics_ratio =
+      arg_ratio(argc, argv, "--min-metrics-ratio", 0.9);
 
   std::fprintf(stderr, "[trace_overhead] tracing off (3 runs)...\n");
   const double off = rounds_per_sec(nullptr, 3);
@@ -108,6 +139,24 @@ int main(int argc, char** argv) {
                  "[trace_overhead] FAIL: enabled tracing costs too much "
                  "(%.2f < %.2f x %.2f)\n",
                  on, min_on_ratio, off);
+    ok = false;
+  }
+
+  std::fprintf(stderr,
+               "[trace_overhead] 1000 PMs, metrics off (3 runs)...\n");
+  const double metrics_off = metrics_rounds_per_sec(false, 3);
+  std::fprintf(stderr,
+               "[trace_overhead] 1000 PMs, metrics on (3 runs)...\n");
+  const double metrics_on = metrics_rounds_per_sec(true, 3);
+  std::printf("[trace_overhead] 1000 PMs metrics off: %.2f rounds/sec, "
+              "on: %.2f rounds/sec (on/off %.2f)\n",
+              metrics_off, metrics_on,
+              metrics_off > 0 ? metrics_on / metrics_off : 0.0);
+  if (metrics_on < min_metrics_ratio * metrics_off) {
+    std::fprintf(stderr,
+                 "[trace_overhead] FAIL: metrics alone cost too much at "
+                 "1000 PMs (%.2f < %.2f x %.2f)\n",
+                 metrics_on, min_metrics_ratio, metrics_off);
     ok = false;
   }
 
@@ -144,6 +193,13 @@ int main(int argc, char** argv) {
   report.add_headline("rounds_per_sec_on", buf);
   std::snprintf(buf, sizeof(buf), "%.2f", off > 0 ? on / off : 0.0);
   report.add_headline("on_off_ratio", buf);
+  std::snprintf(buf, sizeof(buf), "%.2f", metrics_off);
+  report.add_headline("rounds_per_sec_1000pm_metrics_off", buf);
+  std::snprintf(buf, sizeof(buf), "%.2f", metrics_on);
+  report.add_headline("rounds_per_sec_1000pm_metrics_on", buf);
+  std::snprintf(buf, sizeof(buf), "%.2f",
+                metrics_off > 0 ? metrics_on / metrics_off : 0.0);
+  report.add_headline("metrics_on_off_ratio_1000pm", buf);
   report.add_headline("status", ok ? "OK" : "FAIL");
   report.write();
 

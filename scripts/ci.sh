@@ -9,17 +9,24 @@
 # path. Runs bench/perf_baseline and prints its JSON line; compare
 # against the committed BENCH_qtable.json at the repo root.
 #
-# Stage 3 (docs drift): reruns every bench that feeds a GENERATED block
+# Stage 3 (trace verify): glap-trace check over the committed golden
+# 8-PM trace and a freshly generated canonical 150-PM GLAP trace; a
+# deliberately corrupted copy must fail with exit code 1. Also refreshes
+# results/trace_stats.json via `glap-trace stats --results` so the docs
+# drift stage below covers the trace_stats block.
+#
+# Stage 4 (docs drift): reruns every bench that feeds a GENERATED block
 # in EXPERIMENTS.md at the default 150-PM scale and fails with a diff if
 # the committed tables don't match the regenerated ones byte-for-byte.
 # Simulation results are a pure function of (config, seed), so this is
 # host-independent; the throughput benches are not drift-checked.
 #
-# Stage 4 (trace overhead): bench/trace_overhead asserts rounds/sec with
+# Stage 5 (trace overhead): bench/trace_overhead asserts rounds/sec with
 # tracing off stays within a noise band of the committed
-# BENCH_engine.json entry, and that tracing on doesn't crater it.
+# BENCH_engine.json entry, that tracing on doesn't crater it, and that
+# metrics-on at 1000 PMs stays within a ratio of metrics-off.
 #
-# Stage 5 (thread safety, RUN_TSAN=1 to enable): ThreadSanitizer build;
+# Stage 6 (thread safety, RUN_TSAN=1 to enable): ThreadSanitizer build;
 # runs the full ctest suite plus the multi-threaded 150-PM GLAP smoke
 # (bench/parallel_smoke) under TSan to catch data races in the
 # wave-parallel engine.
@@ -40,6 +47,34 @@ cmake --build build-release -j "$JOBS"
 if [[ "${RUN_BENCH:-1}" == "1" ]]; then
   echo "== bench: perf_baseline =="
   ./build-release/bench/perf_baseline "ci-$(git rev-parse --short HEAD 2>/dev/null || echo local)"
+fi
+
+if [[ "${RUN_TRACE_VERIFY:-1}" == "1" ]]; then
+  echo "== trace verify: glap-trace check over golden + fresh traces =="
+  GLAP_TRACE=./build-release/tools/glap-trace
+  "$GLAP_TRACE" check tests/integration/golden/trace_8pm.jsonl
+
+  # Canonical 150-PM GLAP run (gen defaults): check it and refresh the
+  # stats mirror that feeds the trace_stats block in EXPERIMENTS.md —
+  # this runs before the docs-drift stage so --check sees fresh numbers.
+  CI_TRACE=build-release/trace_ci.jsonl
+  "$GLAP_TRACE" gen "$CI_TRACE"
+  "$GLAP_TRACE" check "$CI_TRACE"
+  "$GLAP_TRACE" stats "$CI_TRACE" --results
+
+  # A deliberately corrupted copy (every migration redirected onto its
+  # source PM) must fail the check with exit code 1, not 0 or 2.
+  sed -E 's/"from":([0-9]+),"to":[0-9]+/"from":\1,"to":\1/' \
+    "$CI_TRACE" > "$CI_TRACE.corrupt"
+  corrupt_status=0
+  "$GLAP_TRACE" check "$CI_TRACE.corrupt" 2>/dev/null || corrupt_status=$?
+  if [[ "$corrupt_status" != "1" ]]; then
+    echo "glap-trace check exited $corrupt_status on a corrupted trace" \
+         "(want 1: violations found)" >&2
+    exit 1
+  fi
+  echo "corrupted trace rejected as expected"
+  rm -f "$CI_TRACE" "$CI_TRACE.corrupt"
 fi
 
 if [[ "${RUN_DOCS_DRIFT:-1}" == "1" ]]; then

@@ -17,6 +17,10 @@ document is byte-identical to any other regenerated from the same results
 `<table>` may also be the literal `headlines`, which renders the bench's
 headline key/value pairs as a two-column table.
 
+A few results files are produced by tools other than a bench binary (see
+EXTERNAL below); their blocks are rendered from the committed file and the
+script never tries to execute `bench/<name>` for them.
+
 Usage:
     scripts/regen_experiments.py [--build-dir build-release] [--check]
         [--results-dir results] [--skip-run] [--only bench1,bench2]
@@ -44,6 +48,12 @@ README = os.path.join(REPO, "README.md")
 
 BEGIN_RE = re.compile(r"<!-- GENERATED:BEGIN ([A-Za-z0-9_]+)\.([A-Za-z0-9_]+) -->")
 END_TMPL = "<!-- GENERATED:END {bench}.{table} -->"
+
+# Results files with no bench binary behind them. trace_stats.json is written
+# by `glap-trace stats --results` (the CI trace-verify stage regenerates it
+# from the canonical `glap-trace gen` trace); blocks over these names render
+# from the existing file and are never dispatched to run_benches.
+EXTERNAL = {"trace_stats"}
 
 
 def fail(msg):
@@ -74,6 +84,10 @@ def load_results(bench, results_dir):
     if not os.path.isabs(path):
         path = os.path.join(REPO, path)
     if not os.path.exists(path):
+        if bench in EXTERNAL:
+            fail(f"missing results file {path}; generate it with "
+                 f"`glap-trace gen <trace> && glap-trace stats <trace> "
+                 f"--results` (the CI trace-verify stage does this)")
         fail(f"missing results file {path}; run the {bench} bench "
              f"(or drop --skip-run)")
     with open(path, encoding="utf-8") as f:
@@ -172,14 +186,20 @@ def main():
         fail("EXPERIMENTS.md contains no GENERATED blocks")
     benches = sorted({bench for bench, _ in blocks})
 
+    runnable = [b for b in benches if b not in EXTERNAL]
     if not args.skip_run:
-        selected = benches
+        selected = runnable
         if args.only:
             only = set(args.only.split(","))
             unknown = only - set(benches)
             if unknown:
                 fail(f"--only names unknown benches: {sorted(unknown)}")
-            selected = [b for b in benches if b in only]
+            skipped = sorted(only & EXTERNAL)
+            if skipped:
+                print(f"[regen] {', '.join(skipped)}: externally generated "
+                      f"(see scripts/ci.sh trace-verify); using the existing "
+                      f"results file")
+            selected = [b for b in runnable if b in only]
         run_benches(selected, args.build_dir, args.results_dir)
 
     new_text = regenerate(text, args.results_dir)

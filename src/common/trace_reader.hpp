@@ -1,0 +1,115 @@
+// Read side of the round-level JSONL trace: parses the exact line shapes
+// TraceLog renders (DESIGN.md §10.2) back into typed events.
+//
+// This is the shared parsing layer under tools/glap-trace and the trace
+// round-trip / invariant tests; the fault-injection harness asserts
+// against it too, so the parser accepts every schema line including the
+// reserved "fault" kind. Parsing is tolerant in exactly one direction:
+// unknown object keys are ignored (forward compatibility), but a line
+// that is not a JSON object, names an unknown "ev", or is missing a
+// schema field is a reported error — never a crash and never a silently
+// skipped event.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace glap::trace {
+
+/// Every line shape in the §10.2 schema: the buffered interaction kinds
+/// first (mirroring trace::Kind), then the driver-direct lines.
+enum class EventKind : std::uint8_t {
+  kMigration,
+  kPower,
+  kShuffle,
+  kOverload,
+  kFault,
+  kRound,       ///< per-round aggregate summary
+  kQsim,        ///< Q-table cosine-similarity probe
+  kRelearn,     ///< GLAP re-learning trigger
+  kShardBytes,  ///< opt-in per-shard byte breakdown (non-deterministic)
+};
+
+inline constexpr std::size_t kEventKindCount = 9;
+
+/// The JSONL "ev" value for a kind ("migration", "round", ...).
+[[nodiscard]] const char* event_kind_name(EventKind k);
+
+/// Reverse lookup; returns false on an unknown name.
+[[nodiscard]] bool event_kind_from_name(std::string_view name,
+                                        EventKind* out);
+
+/// One parsed trace line. `kind` and `round` are always set; of the named
+/// sub-structs only the one matching `kind` carries data.
+struct TraceEvent {
+  EventKind kind = EventKind::kRound;
+  std::uint64_t round = 0;
+
+  struct Migration {
+    std::int64_t vm = 0;
+    std::int64_t from = 0;
+    std::int64_t to = 0;
+    double cpu = 0.0;
+    double energy_j = 0.0;
+  } migration;
+  struct Power {
+    std::int64_t pm = 0;
+    bool on = false;
+  } power;
+  struct Shuffle {
+    std::int64_t initiator = 0;
+    std::int64_t peer = 0;
+    std::int64_t sent = 0;
+    std::int64_t reply = 0;
+  } shuffle;
+  struct Overload {
+    std::int64_t pm = 0;
+    double cpu = 0.0;
+  } overload;
+  struct Fault {
+    std::int64_t pm = 0;
+    std::int64_t code = 0;  ///< rendered as "kind" on the wire
+    double value = 0.0;
+  } fault;
+  struct RoundSummary {
+    std::uint64_t active_pms = 0;
+    std::uint64_t overloaded_pms = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  } summary;
+  struct Qsim {
+    double similarity = 0.0;
+  } qsim;
+  std::vector<std::uint64_t> shard_bytes;
+};
+
+/// Parses one line. On failure returns false and, when `error` is
+/// non-null, stores a one-line description of what was malformed.
+[[nodiscard]] bool parse_trace_line(std::string_view line, TraceEvent* out,
+                                    std::string* error = nullptr);
+
+/// Streaming reader over an externally owned istream. Blank lines are
+/// skipped; everything else must parse. line_number() reports the
+/// 1-based position of the line the last next() consumed, so error
+/// messages and invariant violations can point at the offending bytes.
+class TraceReader {
+ public:
+  explicit TraceReader(std::istream& in) : in_(in) {}
+
+  enum class Status : std::uint8_t { kEvent, kEof, kError };
+
+  Status next(TraceEvent* out, std::string* error = nullptr);
+
+  [[nodiscard]] std::size_t line_number() const noexcept { return line_no_; }
+
+ private:
+  std::istream& in_;
+  std::size_t line_no_ = 0;
+  std::string line_;
+};
+
+}  // namespace glap::trace

@@ -13,6 +13,7 @@ const char* kind_name(Kind k) {
     case Kind::kPower: return "power";
     case Kind::kShuffle: return "shuffle";
     case Kind::kOverload: return "overload";
+    case Kind::kFault: return "fault";
   }
   return "?";
 }
@@ -34,6 +35,10 @@ void TraceLog::render(const Event& e) {
       break;
     case Kind::kOverload:
       out_ << ",\"pm\":" << e.a << ",\"cpu\":" << json_double(e.x);
+      break;
+    case Kind::kFault:
+      out_ << ",\"pm\":" << e.a << ",\"kind\":" << e.b
+           << ",\"value\":" << json_double(e.x);
       break;
   }
   out_ << "}\n";

@@ -30,6 +30,10 @@ enum class Kind : std::uint8_t {
   kPower,        // a=pm, b=on(0/1)
   kShuffle,      // a=initiator, b=peer, c=sent_entries, d=reply_entries
   kOverload,     // a=pm, x=cpu_utilization
+  kFault,        // a=pm, b=fault_code, x=value — reserved for PM-fault
+                 // injection (crash-stop, message loss, partition); no
+                 // current emit site, but the wire format is fixed now so
+                 // fault traces parse with today's trace_reader
 };
 
 [[nodiscard]] const char* kind_name(Kind k);

@@ -123,6 +123,14 @@ struct ObservabilityConfig {
   /// bit-identity contract. Default off.
   bool trace_shard_detail = false;
 
+  /// Collect the per-phase engine profile (select/execute/commit scoped
+  /// timers, DESIGN.md §10.4), returned via RunResult::profile. Phase
+  /// call counts are deterministic (serial == wave-parallel at any thread
+  /// count) and, when metrics are also on, published as
+  /// `profile.<phase>.calls` counters; wall-clock columns are
+  /// host-dependent and stay out of every bit-identity contract.
+  bool profile = false;
+
   /// Non-empty: write the full registry snapshot (JSON) here at run end.
   std::string metrics_json_path;
   /// Non-empty: write all per-round series side by side as CSV here.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/profiler.hpp"
 #include "common/stats.hpp"
 
 namespace glap::harness {
@@ -59,6 +60,11 @@ struct RunResult {
   /// The run's metric registry (counters/gauges/histograms/series), or
   /// null when ObservabilityConfig::metrics_enabled() was false.
   std::shared_ptr<metrics::MetricsRegistry> metrics;
+
+  /// Per-phase engine profile (empty unless ObservabilityConfig::profile).
+  /// Entries with `deterministic` set carry call counts that are a pure
+  /// function of (config, seed); wall_ns is always host-dependent.
+  std::vector<prof::PhaseProfiler::PhaseTotals> profile;
 
   // Derived helpers -------------------------------------------------------
 

@@ -8,6 +8,7 @@
 
 #include "baselines/bfd.hpp"
 #include "common/metrics.hpp"
+#include "common/profiler.hpp"
 #include "common/tracing.hpp"
 #include "core/glap.hpp"
 #include "trace/demand_model.hpp"
@@ -147,6 +148,11 @@ RunResult run_experiment(const ExperimentConfig& config) {
   trace::TraceLog* trace = trace_log ? &*trace_log : nullptr;
   engine.set_telemetry(registry.get(), trace);
   dc.set_telemetry(registry.get(), trace);
+  std::unique_ptr<prof::PhaseProfiler> profiler;
+  if (obs.profile) {
+    profiler = std::make_unique<prof::PhaseProfiler>();
+    engine.set_profiler(profiler.get());
+  }
 
   // --- Protocol stack ----------------------------------------------------
   auto install_overlay = [&] {
@@ -156,24 +162,41 @@ RunResult run_experiment(const ExperimentConfig& config) {
                : overlay::CyclonProtocol::install(engine, config.cyclon,
                                                   config.seed);
   };
+  // Readable phase labels for the profile report: `execute.<protocol>`
+  // per installed slot instead of the positional slot index.
+  auto label_slot = [&](sim::Engine::ProtocolSlot slot, const char* name) {
+    if (profiler)
+      profiler->set_label(prof::PhaseProfiler::kFirstSlot + slot,
+                          std::string("execute.") + name);
+  };
+  const char* overlay_name =
+      config.overlay == OverlayKind::kNewscast ? "newscast" : "cyclon";
   std::optional<core::GlapSlots> glap_slots;
   switch (config.algorithm) {
     case Algorithm::kGlap:
       glap_slots = core::install_glap_on(engine, dc, config.glap,
                                          install_overlay(), config.seed,
                                          topology ? &*topology : nullptr);
+      label_slot(glap_slots->overlay, overlay_name);
+      label_slot(glap_slots->learning, "learning");
+      label_slot(glap_slots->consolidation, "consolidation");
       break;
     case Algorithm::kGrmp: {
-      baselines::GrmpProtocol::install(engine, config.grmp, dc,
-                                       install_overlay());
+      const auto overlay_slot = install_overlay();
+      label_slot(overlay_slot, overlay_name);
+      label_slot(baselines::GrmpProtocol::install(engine, config.grmp, dc,
+                                                  overlay_slot),
+                 "grmp");
       break;
     }
     case Algorithm::kEcoCloud:
-      baselines::EcoCloudProtocol::install(engine, config.ecocloud, dc,
-                                           config.seed);
+      label_slot(baselines::EcoCloudProtocol::install(engine, config.ecocloud,
+                                                      dc, config.seed),
+                 "ecocloud");
       break;
     case Algorithm::kPabfd:
-      baselines::PabfdManager::install(engine, config.pabfd, dc);
+      label_slot(baselines::PabfdManager::install(engine, config.pabfd, dc),
+                 "pabfd");
       break;
     case Algorithm::kNone:
       break;
@@ -287,9 +310,12 @@ RunResult run_experiment(const ExperimentConfig& config) {
     if (!baseline_idles_in_warmup) {
       if (trace != nullptr) trace->begin_round(engine.current_round());
       engine.step();
-      dc.commit_deferred_accounting();
-      if (registry) registry->commit_round();
-      if (trace != nullptr) trace->commit_round();
+      {
+        prof::PhaseScope timer(profiler.get(), prof::PhaseProfiler::kCommit);
+        dc.commit_deferred_accounting();
+        if (registry) registry->commit_round();
+        if (trace != nullptr) trace->commit_round();
+      }
       if (config.track_convergence && glap_slots) {
         result.convergence.push_back(
             sample_convergence(engine, glap_slots->learning,
@@ -321,9 +347,12 @@ RunResult run_experiment(const ExperimentConfig& config) {
     // driver context's tags are not part of the determinism contract.
     if (trace != nullptr) trace->commit_round();
     engine.step();
-    dc.commit_deferred_accounting();
-    if (registry) registry->commit_round();
-    if (trace != nullptr) trace->commit_round();
+    {
+      prof::PhaseScope timer(profiler.get(), prof::PhaseProfiler::kCommit);
+      dc.commit_deferred_accounting();
+      if (registry) registry->commit_round();
+      if (trace != nullptr) trace->commit_round();
+    }
 
     RoundSample sample;
     sample.round = r;
@@ -393,6 +422,20 @@ RunResult run_experiment(const ExperimentConfig& config) {
       static_cast<std::uint32_t>(dc.overloaded_pm_count());
   result.final_bfd_bins =
       static_cast<std::uint32_t>(baselines::bfd_bin_count(dc));
+
+  if (profiler) {
+    result.profile = profiler->totals();
+    // Deterministic phase call counts join the metric snapshot, so the
+    // existing serial-vs-parallel bit-identity checks cover them. The
+    // select count and all wall-clock columns stay out (execution-mode
+    // and host dependent respectively).
+    if (registry) {
+      for (const auto& phase : result.profile)
+        if (phase.deterministic)
+          registry->counter("profile." + phase.label + ".calls")
+              ->inc(phase.calls);
+    }
+  }
 
   if (registry) {
     registry->gauge("slavo")->set(result.slavo);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/profiler.hpp"
+
 namespace glap::sim {
 
 namespace {
@@ -121,11 +123,12 @@ void Engine::execute_node(NodeId node, std::size_t rank,
   exec::Context& ctx = exec::context();
   ctx.order_key = rank;
   ctx.seq = 0;
-  for (auto& slot : slots_) {
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
     // A protocol earlier in the stack may have put this node to sleep
     // (e.g. consolidation switched the PM off mid-round).
     if (status_[node] != NodeStatus::kActive) break;
-    slot[node]->execute(*this, node, peers);
+    prof::PhaseScope timer(profiler_, prof::PhaseProfiler::kFirstSlot + s);
+    slots_[s][node]->execute(*this, node, peers);
   }
 }
 
@@ -181,6 +184,9 @@ void Engine::run_round_waves() {
     // footprint and stake reservations. Selection is pure, so a node that
     // loses here simply re-selects next wave against the updated state.
     run_parallel(batch, [&](std::size_t i) {
+      // Selection is a wave-mode-only phase: its call count depends on
+      // how waves shake out, so the profiler treats it as wall-clock-only.
+      prof::PhaseScope timer(profiler_, prof::PhaseProfiler::kSelect);
       const NodeId node = pending_[begin + i];
       PeerSet& peers = peer_sets_[node];
       peers.clear();

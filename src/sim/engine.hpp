@@ -60,6 +60,9 @@
 namespace glap::metrics {
 class MetricsRegistry;
 }
+namespace glap::prof {
+class PhaseProfiler;
+}
 namespace glap::trace {
 class TraceLog;
 }
@@ -212,6 +215,17 @@ class Engine {
   }
   [[nodiscard]] trace::TraceLog* trace_log() const noexcept { return trace_; }
 
+  /// Attaches the per-phase profiler (not owned; null = disabled, which
+  /// costs two predictable branches per instrumented scope). Per-slot
+  /// execute bodies and the wave select phase are timed; phases beyond
+  /// prof::PhaseProfiler::kMaxPhases are silently uncounted.
+  void set_profiler(prof::PhaseProfiler* profiler) noexcept {
+    profiler_ = profiler;
+  }
+  [[nodiscard]] prof::PhaseProfiler* profiler() const noexcept {
+    return profiler_;
+  }
+
  private:
   using TypeTag = const void*;
 
@@ -296,6 +310,7 @@ class Engine {
   NetworkStats network_;
   metrics::MetricsRegistry* metrics_ = nullptr;
   trace::TraceLog* trace_ = nullptr;
+  prof::PhaseProfiler* profiler_ = nullptr;
   Rng rng_;
   std::uint64_t order_seed_;
   Round round_ = 0;

@@ -1,0 +1,109 @@
+// PhaseProfiler: per-shard accumulation, quiescent-point merging, and the
+// deterministic-vs-wall-clock split of the reported totals.
+#include "common/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/exec_context.hpp"
+
+namespace glap::prof {
+namespace {
+
+struct ContextGuard {
+  ContextGuard() : saved(exec::context()) {}
+  ~ContextGuard() { exec::context() = saved; }
+  exec::Context saved;
+};
+
+const PhaseProfiler::PhaseTotals* find_phase(
+    const std::vector<PhaseProfiler::PhaseTotals>& totals,
+    std::size_t phase) {
+  for (const auto& t : totals)
+    if (t.phase == phase) return &t;
+  return nullptr;
+}
+
+TEST(PhaseProfiler, BuiltinPhasesAlwaysReported) {
+  const PhaseProfiler profiler;
+  const auto totals = profiler.totals();
+  const auto* select = find_phase(totals, PhaseProfiler::kSelect);
+  const auto* commit = find_phase(totals, PhaseProfiler::kCommit);
+  ASSERT_NE(select, nullptr);
+  ASSERT_NE(commit, nullptr);
+  EXPECT_EQ(select->calls, 0u);
+  EXPECT_EQ(select->label, "select");
+  EXPECT_EQ(commit->label, "commit");
+  // Uncalled slot phases stay out of the report.
+  EXPECT_EQ(find_phase(totals, PhaseProfiler::kFirstSlot), nullptr);
+}
+
+TEST(PhaseProfiler, MergesAcrossShards) {
+  ContextGuard guard;
+  PhaseProfiler profiler;
+  auto& ctx = exec::context();
+  ctx.shard_slot = 1;
+  profiler.record(PhaseProfiler::kFirstSlot, 100);
+  ctx.shard_slot = 5;
+  profiler.record(PhaseProfiler::kFirstSlot, 250);
+  profiler.record(PhaseProfiler::kFirstSlot, 50);
+
+  const auto totals = profiler.totals();
+  const auto* slot = find_phase(totals, PhaseProfiler::kFirstSlot);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->calls, 3u);
+  EXPECT_EQ(slot->wall_ns, 400u);
+}
+
+TEST(PhaseProfiler, OnlySelectIsNondeterministic) {
+  ContextGuard guard;
+  PhaseProfiler profiler;
+  exec::context().shard_slot = 0;
+  profiler.record(PhaseProfiler::kSelect, 1);
+  profiler.record(PhaseProfiler::kCommit, 1);
+  profiler.record(PhaseProfiler::kFirstSlot + 2, 1);
+  const auto totals = profiler.totals();
+  for (const auto& t : totals)
+    EXPECT_EQ(t.deterministic, t.phase != PhaseProfiler::kSelect)
+        << t.label;
+}
+
+TEST(PhaseProfiler, SetLabelRenamesSlotPhases) {
+  ContextGuard guard;
+  PhaseProfiler profiler;
+  profiler.set_label(PhaseProfiler::kFirstSlot, "execute.learning");
+  exec::context().shard_slot = 0;
+  profiler.record(PhaseProfiler::kFirstSlot, 7);
+  const auto totals = profiler.totals();
+  const auto* slot = find_phase(totals, PhaseProfiler::kFirstSlot);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->label, "execute.learning");
+}
+
+TEST(PhaseProfiler, OutOfRangePhaseIsSilentlyDropped) {
+  ContextGuard guard;
+  PhaseProfiler profiler;
+  exec::context().shard_slot = 0;
+  profiler.record(PhaseProfiler::kMaxPhases, 99);
+  profiler.record(PhaseProfiler::kMaxPhases + 7, 99);
+  EXPECT_EQ(profiler.totals().size(), 2u);  // just select + commit
+}
+
+TEST(PhaseScope, NullProfilerIsANoop) {
+  PhaseScope scope(nullptr, PhaseProfiler::kCommit);  // must not crash
+}
+
+TEST(PhaseScope, RecordsOneCallWithElapsedTime) {
+  ContextGuard guard;
+  PhaseProfiler profiler;
+  exec::context().shard_slot = 2;
+  {
+    PhaseScope scope(&profiler, PhaseProfiler::kCommit);
+  }
+  const auto totals = profiler.totals();
+  const auto* commit = find_phase(totals, PhaseProfiler::kCommit);
+  ASSERT_NE(commit, nullptr);
+  EXPECT_EQ(commit->calls, 1u);
+}
+
+}  // namespace
+}  // namespace glap::prof

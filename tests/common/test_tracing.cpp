@@ -22,6 +22,25 @@ TEST(KindName, NamesAllKinds) {
   EXPECT_STREQ(kind_name(Kind::kPower), "power");
   EXPECT_STREQ(kind_name(Kind::kShuffle), "shuffle");
   EXPECT_STREQ(kind_name(Kind::kOverload), "overload");
+  EXPECT_STREQ(kind_name(Kind::kFault), "fault");
+}
+
+TEST(TraceLog, RendersReservedFaultKind) {
+  // No engine emit site yet (reserved for fault injection), but the wire
+  // format is pinned so today's readers parse tomorrow's fault traces.
+  ContextGuard guard;
+  std::ostringstream out;
+  TraceLog log(out);
+  log.begin_round(30);
+  auto& ctx = exec::context();
+  ctx.shard_slot = 1;
+  ctx.order_key = 0;
+  ctx.seq = 0;
+  log.emit(Kind::kFault, 17, 3, 0, 0, 2.5);
+  log.commit_round();
+  EXPECT_EQ(out.str(),
+            "{\"ev\":\"fault\",\"round\":30,\"pm\":17,\"kind\":3,"
+            "\"value\":2.5}\n");
 }
 
 TEST(TraceLog, RendersBufferedEventsInOrderKeyOrder) {

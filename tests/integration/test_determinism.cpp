@@ -3,6 +3,11 @@
 // and every floating-point aggregate — for every algorithm in the suite.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "harness/runner.hpp"
 
 namespace glap::harness {
@@ -17,7 +22,20 @@ ExperimentConfig small_config(Algorithm algorithm) {
   config.rounds = 40;
   config.seed = 7;
   config.fit_glap_phases_to_warmup();
+  // Profiler phase *counts* are part of the determinism contract
+  // (DESIGN.md §10.4); wall-clock is not and is never compared.
+  config.observability.profile = true;
   return config;
+}
+
+/// The deterministic half of the phase profile: (label, calls) pairs,
+/// in report order. Select (wave-only, wall-clock-only) is excluded.
+std::vector<std::pair<std::string, std::uint64_t>> deterministic_profile(
+    const RunResult& result) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& phase : result.profile)
+    if (phase.deterministic) out.emplace_back(phase.label, phase.calls);
+  return out;
 }
 
 void expect_identical(const RunResult& a, const RunResult& b,
@@ -33,6 +51,7 @@ void expect_identical(const RunResult& a, const RunResult& b,
   EXPECT_EQ(a.final_active_pms, b.final_active_pms) << what;
   EXPECT_EQ(a.final_overloaded_pms, b.final_overloaded_pms) << what;
   EXPECT_EQ(a.final_bfd_bins, b.final_bfd_bins) << what;
+  EXPECT_EQ(deterministic_profile(a), deterministic_profile(b)) << what;
   ASSERT_EQ(a.rounds.size(), b.rounds.size()) << what;
   for (std::size_t r = 0; r < a.rounds.size(); ++r) {
     EXPECT_EQ(a.rounds[r].active_pms, b.rounds[r].active_pms)

@@ -8,13 +8,13 @@
 //       --gtest_filter='Observability.TraceMatchesGoldenFile'
 #include <gtest/gtest.h>
 
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "common/metrics.hpp"
 #include "harness/runner.hpp"
+#include "support/golden.hpp"
 
 namespace glap::harness {
 namespace {
@@ -54,22 +54,10 @@ TEST(Observability, TraceMatchesGoldenFile) {
       std::string(GLAP_TESTS_DIR) + "/integration/golden/trace_8pm.jsonl";
   const Captured captured = run_captured(tiny_config());
   ASSERT_FALSE(captured.trace.empty());
-
-  if (std::getenv("GLAP_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(path, std::ios::binary);
-    ASSERT_TRUE(out.is_open()) << path;
-    out << captured.trace;
-    GTEST_SKIP() << "golden file regenerated: " << path;
-  }
-
-  std::ifstream in(path, std::ios::binary);
-  ASSERT_TRUE(in.is_open())
-      << path << " missing; run with GLAP_UPDATE_GOLDEN=1 to create it";
-  std::stringstream golden;
-  golden << in.rdbuf();
-  EXPECT_EQ(captured.trace, golden.str())
-      << "trace schema or event stream changed; if intentional, regenerate "
-         "with GLAP_UPDATE_GOLDEN=1";
+  testing_support::expect_matches_golden(
+      path, captured.trace,
+      "trace schema or event stream changed; if intentional, regenerate "
+      "with GLAP_UPDATE_GOLDEN=1");
 }
 
 TEST(Observability, TraceCarriesTheExpectedEventMix) {
@@ -96,6 +84,10 @@ TEST(Observability, MetricsAndTraceBitIdenticalSerialVsParallel) {
   config.rounds = 15;
   config.seed = 9;
   config.fit_glap_phases_to_warmup();
+  // Profiler counts are part of the snapshot identity contract: with
+  // profile on, the registry carries profile.<phase>.calls counters that
+  // must also be bit-identical across execution modes.
+  config.observability.profile = true;
 
   const Captured serial = run_captured(config);
   config.engine_threads = 4;
@@ -103,6 +95,7 @@ TEST(Observability, MetricsAndTraceBitIdenticalSerialVsParallel) {
 
   EXPECT_EQ(serial.trace, parallel.trace);
   EXPECT_EQ(serial.metrics_json, parallel.metrics_json);
+  EXPECT_NE(serial.metrics_json.find("profile."), std::string::npos);
 }
 
 TEST(Observability, MetricsSinksWriteFiles) {

@@ -1,0 +1,36 @@
+// Shared golden-file comparison for tests that pin byte-exact artifacts
+// (JSONL traces, rendered reports). One call replaces the open/slurp/diff
+// boilerplate and the GLAP_UPDATE_GOLDEN regeneration path.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace glap::testing_support {
+
+/// Byte-compares `actual` against the checked-in file at `path`. With
+/// GLAP_UPDATE_GOLDEN set in the environment, rewrites the file and skips
+/// the test instead. May ASSERT or GTEST_SKIP, so call it as the last
+/// statement of the test body.
+inline void expect_matches_golden(const std::string& path,
+                                  const std::string& actual,
+                                  const char* mismatch_hint) {
+  if (std::getenv("GLAP_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << path << " missing; run with GLAP_UPDATE_GOLDEN=1 to create it";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(actual, golden.str()) << mismatch_hint;
+}
+
+}  // namespace glap::testing_support
