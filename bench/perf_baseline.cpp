@@ -14,6 +14,10 @@
 // record collected in BENCH_engine.json.
 //
 // Build in Release (-O3); see scripts/ci.sh and README "Performance".
+//
+// glap-lint: allow-file(wall-clock): throughput benches time kernels and
+// rounds by design; wall-clock readings are reported, never fed back into
+// simulation state, so the seed-purity contract is untouched.
 #include <chrono>
 #include <cstdio>
 #include <cstring>

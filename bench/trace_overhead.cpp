@@ -22,6 +22,10 @@
 // scripts/ci.sh runs this as its trace-overhead stage:
 //
 //   build-release/bench/trace_overhead --reference BENCH_engine.json
+//
+// glap-lint: allow-file(wall-clock): this bench exists to measure wall-
+// clock throughput ratios; timings are compared and reported, never fed
+// back into simulation state.
 #include <chrono>
 #include <cstdio>
 #include <cstring>

@@ -30,6 +30,18 @@
 # runs the full ctest suite plus the multi-threaded 150-PM GLAP smoke
 # (bench/parallel_smoke) under TSan to catch data races in the
 # wave-parallel engine.
+#
+# Stage 7 (lint): glap-lint scan over the checked-in tree must be clean;
+# `--results` refreshes results/lint_stats.json, which feeds the
+# lint_stats block in EXPERIMENTS.md, so this runs before the docs-drift
+# stage. If clang-tidy is installed, a bounded tidy pass (.clang-tidy:
+# bugprone-*, performance-*, concurrency-*) runs over src/; absent
+# clang-tidy the pass is skipped — glap-lint is the gating analyzer.
+#
+# Stage 8 (memory/UB safety, RUN_ASAN_UBSAN=1 to enable): combined
+# AddressSanitizer + UndefinedBehaviorSanitizer build (UB reports are
+# fatal via -fno-sanitize-recover=all); runs the full ctest suite plus
+# bench/parallel_smoke.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +55,23 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== bench: Release -O3 build (checks off) =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release -DGLAP_ENABLE_CHECKS=OFF
 cmake --build build-release -j "$JOBS"
+
+if [[ "${RUN_LINT:-1}" == "1" ]]; then
+  echo "== lint: glap-lint scan over the checked-in tree =="
+  # --results refreshes results/lint_stats.json before the docs-drift
+  # stage checks the lint_stats block in EXPERIMENTS.md.
+  ./build-release/tools/glap-lint scan . --results
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== lint: bounded clang-tidy pass over src/ =="
+    # Bounded: tidy only the protocol layers that carry the determinism
+    # contract; glap-lint (above) covers the whole tree.
+    find src/sim src/overlay src/core src/baselines -name '*.cpp' -print0 |
+      xargs -0 -n 1 -P "$JOBS" clang-tidy -p build --quiet
+  else
+    echo "clang-tidy not installed; skipping tidy pass (glap-lint gates)"
+  fi
+fi
 
 if [[ "${RUN_BENCH:-1}" == "1" ]]; then
   echo "== bench: perf_baseline =="
@@ -100,4 +129,13 @@ if [[ "${RUN_TSAN:-1}" == "1" ]]; then
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
   ./build-tsan/bench/parallel_smoke
+fi
+
+if [[ "${RUN_ASAN_UBSAN:-1}" == "1" ]]; then
+  echo "== asan-ubsan: Address+UB sanitizer build + ctest + parallel smoke =="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGLAP_ASAN=ON -DGLAP_UBSAN=ON -DGLAP_ENABLE_CHECKS=ON
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+  ./build-asan/bench/parallel_smoke
 fi

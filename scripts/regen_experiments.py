@@ -51,9 +51,10 @@ END_TMPL = "<!-- GENERATED:END {bench}.{table} -->"
 
 # Results files with no bench binary behind them. trace_stats.json is written
 # by `glap-trace stats --results` (the CI trace-verify stage regenerates it
-# from the canonical `glap-trace gen` trace); blocks over these names render
-# from the existing file and are never dispatched to run_benches.
-EXTERNAL = {"trace_stats"}
+# from the canonical `glap-trace gen` trace); lint_stats.json is written by
+# `glap-lint scan . --results` (the CI lint stage). Blocks over these names
+# render from the existing file and are never dispatched to run_benches.
+EXTERNAL = {"trace_stats", "lint_stats"}
 
 
 def fail(msg):
@@ -85,9 +86,11 @@ def load_results(bench, results_dir):
         path = os.path.join(REPO, path)
     if not os.path.exists(path):
         if bench in EXTERNAL:
-            fail(f"missing results file {path}; generate it with "
-                 f"`glap-trace gen <trace> && glap-trace stats <trace> "
-                 f"--results` (the CI trace-verify stage does this)")
+            hint = ("`glap-lint scan . --results` (the CI lint stage does "
+                    "this)" if bench == "lint_stats" else
+                    "`glap-trace gen <trace> && glap-trace stats <trace> "
+                    "--results` (the CI trace-verify stage does this)")
+            fail(f"missing results file {path}; generate it with {hint}")
         fail(f"missing results file {path}; run the {bench} bench "
              f"(or drop --skip-run)")
     with open(path, encoding="utf-8") as f:

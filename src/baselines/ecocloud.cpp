@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <map>
 
 namespace glap::baselines {
 
@@ -127,7 +127,11 @@ bool EcoCloudProtocol::plan_evacuation(
   const std::size_t n = dc_.pm_count();
 
   // Plan: find an accepting target for every VM, reserving planned load.
-  std::unordered_map<cloud::PmId, Resources> reserved;
+  // Keyed deterministically (std::map, PmId order): the plan is only ever
+  // *looked up* per candidate today, but an unordered map here is one
+  // refactor away from iteration in engine-dependent bucket order — the
+  // exact hazard the glap-lint unordered-iteration rule now rejects.
+  std::map<cloud::PmId, Resources> reserved;
   for (cloud::VmId vm : dc_.pm(source).vms()) {
     const Resources usage = dc_.vm(vm).current_usage();
     bool placed = false;

@@ -1,0 +1,10 @@
+// Three banned sources: random_device (hardware entropy), mt19937
+// (standard-library engine, not Rng), and C rand() (global hidden state).
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen()) + std::rand();
+}

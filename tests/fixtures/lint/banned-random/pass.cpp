@@ -1,0 +1,7 @@
+// All randomness flows through an injected generator (glap::Rng in the
+// real tree) — reproducible from the seed, splittable per subsystem.
+struct Rng {
+  unsigned long long next();
+};
+
+unsigned pick(Rng& rng) { return static_cast<unsigned>(rng.next() % 7); }

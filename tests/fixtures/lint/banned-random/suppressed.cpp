@@ -1,0 +1,4 @@
+#include <cstdlib>
+
+// glap-lint: allow(banned-random): fixture demonstrates the suppressed form; never linked into the simulator
+int draw() { return std::rand(); }

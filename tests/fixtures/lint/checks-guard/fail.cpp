@@ -1,0 +1,14 @@
+// Two guard bugs: a GLAP_NO_HOT_CHECKS conditional without an #else
+// (one build flavour silently compiles nothing), and GLAP_ENABLE_CHECKS —
+// the CMake option name — which is never defined for the compiler.
+int checked_get(int* p) {
+#ifdef GLAP_NO_HOT_CHECKS
+  (void)p;
+#endif
+#ifdef GLAP_ENABLE_CHECKS
+  if (!p) return 0;
+#else
+  (void)0;
+#endif
+  return p ? *p : 0;
+}

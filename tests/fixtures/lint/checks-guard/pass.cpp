@@ -1,0 +1,9 @@
+// GLAP_NO_HOT_CHECKS conditionals must be closed and carry an #else so
+// both build flavours compile a real branch.
+int checked_get(int* p) {
+#ifdef GLAP_NO_HOT_CHECKS
+  return *p;
+#else
+  return p ? *p : 0;
+#endif
+}

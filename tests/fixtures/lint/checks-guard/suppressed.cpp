@@ -1,0 +1,12 @@
+int checked_get(int* p) {
+  // glap-lint: allow(checks-guard): fixture for a checks-on-only diagnostic block; nothing is defined in the off flavour on purpose
+#ifdef GLAP_NO_HOT_CHECKS
+  (void)p;
+#endif
+#ifdef GLAP_ENABLE_CHECKS  // glap-lint: allow(checks-guard): fixture pins the CMake-name detection under an explicit excuse
+  if (!p) return 0;
+#else
+  (void)0;
+#endif
+  return p ? *p : 0;
+}

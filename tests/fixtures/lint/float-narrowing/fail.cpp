@@ -1,0 +1,5 @@
+// A float round-trip in a Q-table kernel silently perturbs merge results
+// and breaks the golden tests.
+float merge(float mine, double theirs, double weight) {
+  return mine + static_cast<float>(weight * (theirs - mine));
+}

@@ -1,0 +1,5 @@
+// Q-table kernels are double end to end — merges, cosine similarity,
+// and updates all stay in double precision.
+double merge(double mine, double theirs, double weight) {
+  return mine + weight * (theirs - mine);
+}

@@ -1,0 +1,2 @@
+// glap-lint: allow-file(float-narrowing): fixture models a quantized export path that is read-only for learning state
+float quantize(double q) { return static_cast<float>(q); }

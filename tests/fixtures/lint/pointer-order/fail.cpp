@@ -1,0 +1,14 @@
+// Three address-ordering hazards: a map keyed by pointer, std::hash over
+// a pointer type, and a pointer→integer cast (address-derived key).
+#include <cstdint>
+#include <functional>
+#include <map>
+
+struct Node {
+  int id;
+};
+
+std::map<Node*, int> rank;
+std::hash<Node*> hasher;
+
+std::uintptr_t key(Node* n) { return reinterpret_cast<std::uintptr_t>(n); }

@@ -1,0 +1,11 @@
+// Pointer *values* may be stored; only ordering/hashing by address is
+// banned. Keys here are stable integer ids.
+#include <map>
+#include <set>
+
+struct Node {
+  int id;
+};
+
+std::map<int, Node*> by_id;
+std::set<int> ids;

@@ -1,0 +1,8 @@
+#include <map>
+
+struct Node {
+  int id;
+};
+
+// glap-lint: allow(pointer-order): membership-only set; never iterated and never feeds an ordering decision
+std::map<Node*, int> seen;

@@ -1,0 +1,9 @@
+// Mutable statics in protocol code survive across rounds and across
+// engine configurations — hidden state the seed does not control.
+static int call_count = 0;
+
+int bump() {
+  static long total = 0;
+  ++call_count;
+  return static_cast<int>(++total);
+}

@@ -1,0 +1,8 @@
+// Constants and functions are fine; only mutable statics carry hidden
+// cross-round / cross-run state.
+static const int kRetries = 3;
+static constexpr double kAlpha = 0.1;
+
+static int helper(int x) { return x + kRetries; }
+
+static inline long scaled(long v) { return v * 2; }

@@ -1,0 +1,8 @@
+// glap-lint: allow-file(static-mutable): fixture pins the file-wide allow form; not linked into the simulator
+static int call_count = 0;
+
+int bump() {
+  static long total = 0;
+  ++call_count;
+  return static_cast<int>(++total);
+}

@@ -1,0 +1,6 @@
+// Prose that merely *mentions* the directive syntax is not a directive:
+// the placeholder below is not a plausible rule name, so the line is
+// ignored rather than reported as malformed.
+//
+// Suppress a rule with: glap-lint: allow(<rule>): <reason>
+int x = 0;

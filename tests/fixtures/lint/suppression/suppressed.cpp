@@ -1,0 +1,3 @@
+// glap-lint: allow(suppression): fixture pins that even meta findings can be explicitly excused
+// glap-lint: allow(wall-clock): deliberately stale allow, excused by the line above
+int x = 0;

@@ -1,0 +1,7 @@
+// "migrate" is not a trace::EventKind name (the enum says "migration");
+// glap-trace would silently drop this event.
+#include <string>
+
+std::string line() {
+  return "{\"ev\":\"migrate\",\"round\":3}";
+}

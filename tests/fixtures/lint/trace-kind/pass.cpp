@@ -1,0 +1,10 @@
+// Hand-written trace lines must use "ev" names from trace::EventKind.
+#include <string>
+
+std::string line() {
+  return "{\"ev\":\"migration\",\"round\":3}";
+}
+
+std::string other() {
+  return "{\"ev\":\"power\"}";
+}

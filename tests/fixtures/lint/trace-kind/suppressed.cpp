@@ -1,0 +1,6 @@
+#include <string>
+
+std::string line() {
+  // glap-lint: allow(trace-kind): deliberately malformed event used by a reader rejection test
+  return "{\"ev\":\"bogus\",\"round\":3}";
+}

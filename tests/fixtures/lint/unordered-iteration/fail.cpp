@@ -1,0 +1,14 @@
+// Iteration order over unordered containers depends on hashing and
+// allocation history — engine-order-dependent in protocol code.
+#include <unordered_map>
+#include <unordered_set>
+
+int sum(const std::unordered_map<int, int>& load,
+        const std::unordered_set<int>& active) {
+  int total = 0;
+  for (const auto& [pm, cpu] : load) total += cpu;
+  for (int pm : active) total += pm;
+  auto it = load.begin();
+  (void)it;
+  return total;
+}

@@ -1,0 +1,14 @@
+// Lookups into an unordered container are fine; iteration goes through
+// the blessed sorted-extraction idiom (copy out, sort, then iterate).
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+int sum_sorted(const std::unordered_map<int, int>& load) {
+  std::vector<std::pair<int, int>> sorted(load.begin(), load.end());
+  std::sort(sorted.begin(), sorted.end());
+  int total = 0;
+  for (const auto& [pm, cpu] : sorted) total += cpu;
+  return total + (load.count(0) ? 1 : 0);
+}

@@ -1,0 +1,8 @@
+#include <unordered_map>
+
+int sum(const std::unordered_map<int, int>& load) {
+  int total = 0;
+  // glap-lint: allow(unordered-iteration): integer sum is iteration-order independent; pinned by the paired unit test
+  for (const auto& [pm, cpu] : load) total += cpu;
+  return total;
+}

@@ -1,0 +1,10 @@
+// Wall-clock reads: both the chrono clock and the C time() call make the
+// result depend on the host, not the seed.
+#include <chrono>
+#include <ctime>
+
+double jitter() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<double>(t.count()) +
+         static_cast<double>(time(nullptr));
+}

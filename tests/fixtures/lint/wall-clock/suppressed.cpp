@@ -1,0 +1,10 @@
+// Both allow forms: a comment directly above the violating line and a
+// trailing same-line comment.
+#include <chrono>
+
+double elapsed() {
+  // glap-lint: allow(wall-clock): bench scaffolding reports elapsed time; it never feeds simulation state
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop = std::chrono::steady_clock::now();  // glap-lint: allow(wall-clock): same-line exemption for the stop stamp
+  return std::chrono::duration<double>(stop - start).count();
+}

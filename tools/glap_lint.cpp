@@ -1,0 +1,198 @@
+// glap-lint: determinism/safety static analysis over src/, bench/ and
+// tools/ (DESIGN.md §11 documents the rule catalogue and suppression
+// syntax). The tokenizer and rules live in tools/lint; this binary is
+// argument handling and report formatting, mirroring glap-trace.
+//
+//   glap-lint scan [<root>] [--results] [--max-print N]
+//   glap-lint file <path> [--as <rel-path>]
+//   glap-lint rules
+//   glap-lint trace-kinds
+//
+// Exit codes (pinned by DESIGN.md §11 and tests/tools):
+//   0  clean — no rule violations
+//   1  violations found (each printed as file:line: [rule] message)
+//   2  usage error or unreadable input
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/report.hpp"
+#include "lint/lint.hpp"
+
+namespace {
+
+using namespace glap;
+
+constexpr int kExitOk = 0;
+constexpr int kExitViolations = 1;
+constexpr int kExitError = 2;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: glap-lint <subcommand> [args]\n"
+      "  scan [<root>] [--results] [--max-print N]  lint src/ bench/ tools/\n"
+      "                                             under <root> (default .);\n"
+      "                                             --results mirrors rule-hit\n"
+      "                                             counts to results/\n"
+      "                                             lint_stats.json\n"
+      "  file <path> [--as <rel-path>]              lint one file, scoped as\n"
+      "                                             if at <rel-path>\n"
+      "  rules                                      list every rule\n"
+      "  trace-kinds                                known \"ev\" names for the\n"
+      "                                             trace-kind rule\n");
+  return kExitError;
+}
+
+void print_findings(const std::vector<lint::Finding>& findings,
+                    long long max_print) {
+  long long printed = 0;
+  for (const auto& f : findings) {
+    if (printed++ >= max_print) {
+      std::fprintf(stderr, "  ... (%zu more; raise --max-print)\n",
+                   findings.size() - static_cast<std::size_t>(max_print));
+      break;
+    }
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+}
+
+int cmd_scan(int argc, char** argv) {
+  std::string root = ".";
+  bool results = false;
+  long long max_print = 50;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--results") == 0) {
+      results = true;
+    } else if (std::strcmp(argv[i], "--max-print") == 0 && i + 1 < argc) {
+      max_print = std::atoll(argv[++i]);
+    } else if (std::strncmp(argv[i], "--", 2) != 0) {
+      root = argv[i];
+    } else {
+      std::fprintf(stderr, "glap-lint: unknown flag '%s'\n", argv[i]);
+      return usage();
+    }
+  }
+
+  const lint::TreeReport report = lint::lint_tree(root);
+  for (const auto& err : report.io_errors)
+    std::fprintf(stderr, "glap-lint: %s\n", err.c_str());
+  if (!report.io_errors.empty()) return kExitError;
+
+  if (results) {
+    harness::BenchReport out(
+        "lint_stats",
+        "glap-lint rule hits and suppressions over src/, bench/ and tools/");
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& rule : lint::rules()) {
+      const auto hit = report.rule_hits.find(rule.name);
+      const auto sup = report.rule_suppressions.find(rule.name);
+      rows.push_back(
+          {rule.name, rule.tier,
+           std::to_string(hit == report.rule_hits.end() ? 0 : hit->second),
+           std::to_string(sup == report.rule_suppressions.end()
+                              ? 0
+                              : sup->second)});
+    }
+    out.add_table("rules", {"rule", "tier", "violations", "suppressions"},
+                  rows);
+    out.add_headline("files_scanned",
+                     std::to_string(report.files_scanned));
+    out.add_headline("violations", std::to_string(report.findings.size()));
+    out.add_headline("suppressions",
+                     std::to_string(report.suppressions_used));
+    out.write();
+  }
+
+  if (report.findings.empty()) {
+    std::printf("glap-lint: OK — %zu files, 0 violations, %zu "
+                "suppression(s) in effect\n",
+                report.files_scanned, report.suppressions_used);
+    return kExitOk;
+  }
+  print_findings(report.findings, max_print);
+  std::fprintf(stderr,
+               "glap-lint: FAIL — %zu violation(s) in %zu files (%zu "
+               "suppression(s) in effect)\n",
+               report.findings.size(), report.files_scanned,
+               report.suppressions_used);
+  return kExitViolations;
+}
+
+int cmd_file(int argc, char** argv) {
+  std::string path;
+  std::string as;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--as") == 0 && i + 1 < argc) {
+      as = argv[++i];
+    } else if (std::strncmp(argv[i], "--", 2) != 0 && path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "glap-lint: unexpected argument '%s'\n", argv[i]);
+      return usage();
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "glap-lint: missing file argument\n");
+    return usage();
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "glap-lint: cannot open '%s'\n", path.c_str());
+    return kExitError;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string rel = as.empty() ? path : as;
+  lint::FileReport report = lint::lint_source(rel, buf.str());
+  // Report under the real path but keep --as scoping for rule selection.
+  for (auto& f : report.findings) f.file = path;
+  if (report.findings.empty()) {
+    std::size_t used = 0;
+    for (const auto& s : report.suppressions) used += s.used ? 1 : 0;
+    std::printf("glap-lint: OK — %s, 0 violations, %zu suppression(s)\n",
+                path.c_str(), used);
+    return kExitOk;
+  }
+  print_findings(report.findings, 50);
+  std::fprintf(stderr, "glap-lint: FAIL — %zu violation(s) in %s\n",
+               report.findings.size(), path.c_str());
+  return kExitViolations;
+}
+
+int cmd_rules() {
+  std::printf("%-20s %-12s %s\n", "rule", "tier", "summary");
+  for (const auto& r : lint::rules())
+    std::printf("%-20s %-12s %s\n", r.name, r.tier, r.summary);
+  std::printf(
+      "\nsuppress with: // glap-lint: allow(<rule>): <justification>\n"
+      "               // glap-lint: allow-file(<rule>): <justification>\n");
+  return kExitOk;
+}
+
+int cmd_trace_kinds() {
+  for (const auto& name : lint::trace_event_kinds())
+    std::printf("%s\n", name.c_str());
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "scan") return cmd_scan(argc, argv);
+    if (cmd == "file") return cmd_file(argc, argv);
+    if (cmd == "rules") return cmd_rules();
+    if (cmd == "trace-kinds") return cmd_trace_kinds();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "glap-lint: %s\n", e.what());
+    return kExitError;
+  }
+  std::fprintf(stderr, "glap-lint: unknown subcommand '%s'\n", cmd.c_str());
+  return usage();
+}

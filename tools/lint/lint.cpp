@@ -1,0 +1,766 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace glap::lint {
+
+namespace {
+
+// ---- rule catalogue -----------------------------------------------------
+
+constexpr RuleInfo kRules[] = {
+    {"wall-clock", "determinism",
+     "no wall-clock reads (<clock>::now, time(), gettimeofday) outside the "
+     "src/common profiler/rng whitelist"},
+    {"banned-random", "determinism",
+     "no std::rand/std::random_device/<random> engines; all randomness "
+     "flows through glap::Rng (src/common/rng)"},
+    {"unordered-iteration", "determinism",
+     "no range-iteration over std::unordered_{map,set} in protocol code "
+     "(src/sim, src/overlay, src/core, src/baselines)"},
+    {"pointer-order", "determinism",
+     "no pointer-keyed ordering: std::hash<T*>, map/set keyed by pointer, "
+     "or pointer-to-integer casts used as keys"},
+    {"static-mutable", "determinism",
+     "no mutable function-local or class statics in protocol code"},
+    {"trace-kind", "safety",
+     "\"ev\" names in trace literals must match the trace::EventKind set"},
+    {"checks-guard", "safety",
+     "GLAP_NO_HOT_CHECKS conditionals must be closed and carry an #else; "
+     "GLAP_ENABLE_CHECKS never appears in C++ (it is the CMake name)"},
+    {"float-narrowing", "safety",
+     "no float in Q-table kernels (src/qlearn, src/core/qtable_pair) — "
+     "the learning state is double end to end"},
+    {"suppression", "meta",
+     "glap-lint allow comments must name a known rule, carry a "
+     "justification, and match a real finding"},
+};
+
+// ---- path scoping -------------------------------------------------------
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// Protocol code: everything that runs inside engine interactions and so
+/// falls under the serial-vs-parallel bit-identity contract.
+bool in_protocol_code(std::string_view rel) {
+  return starts_with(rel, "src/sim/") || starts_with(rel, "src/overlay/") ||
+         starts_with(rel, "src/core/") || starts_with(rel, "src/baselines/");
+}
+
+/// Q-table kernel files: the flat-storage merge/cosine/update kernels and
+/// their paired-table wrapper; double-precision end to end.
+bool in_qtable_kernels(std::string_view rel) {
+  return starts_with(rel, "src/qlearn/") ||
+         starts_with(rel, "src/core/qtable_pair");
+}
+
+/// Wall-clock whitelist: the profiler measures wall time by design, and
+/// the Rng implementation is the one blessed randomness source.
+bool wall_clock_whitelisted(std::string_view rel) {
+  return starts_with(rel, "src/common/profiler") ||
+         starts_with(rel, "src/common/rng");
+}
+
+bool random_whitelisted(std::string_view rel) {
+  return starts_with(rel, "src/common/rng");
+}
+
+// ---- tokenizer ----------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind;
+  std::string text;  ///< for kString: raw source spelling between quotes
+  std::size_t line;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Lexes C++ source into identifier/number/string/punct tokens. Comments
+/// are skipped; string and char literals become kString tokens carrying
+/// their raw (still-escaped) spelling so literal-content rules can scan
+/// them. Raw strings and line continuations are handled; preprocessor
+/// directives are tokenized like ordinary code (the preprocessor rules
+/// run in a separate line-based pass).
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0, line = 1;
+  const std::size_t n = src.size();
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      continue;
+    }
+    // Raw string literal, with optional encoding prefix: R"delim( ... )delim"
+    if ((c == 'R' && peek(1) == '"') ||
+        ((c == 'u' || c == 'U' || c == 'L') && peek(1) == 'R' &&
+         peek(2) == '"')) {
+      std::size_t j = i + (c == 'R' ? 2 : 3);
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      ++j;  // past '('
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t start = j;
+      const std::size_t end = src.find(closer, j);
+      const std::size_t stop = end == std::string_view::npos ? n : end;
+      const std::size_t tok_line = line;
+      for (std::size_t k = i; k < stop; ++k)
+        if (src[k] == '\n') ++line;
+      out.push_back({Token::Kind::kString,
+                     std::string(src.substr(start, stop - start)), tok_line});
+      i = end == std::string_view::npos ? n : end + closer.size();
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string raw;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          raw += src[j];
+          raw += src[j + 1];
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // unterminated; be lenient
+        raw += src[j++];
+      }
+      if (quote == '"')
+        out.push_back({Token::Kind::kString, raw, line});
+      i = j + 1;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      out.push_back({Token::Kind::kIdent,
+                     std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       src[j] == '\''))
+        ++j;
+      out.push_back({Token::Kind::kNumber,
+                     std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Multi-char puncts the rules care about.
+    if (c == ':' && peek(1) == ':') {
+      out.push_back({Token::Kind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      out.push_back({Token::Kind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---- per-file analysis --------------------------------------------------
+
+struct Analysis {
+  std::string_view rel;
+  const std::vector<Token>& toks;
+  const std::vector<std::string>& lines;
+  std::vector<Finding> raw;  ///< pre-suppression findings
+
+  void flag(std::size_t line, const char* rule, std::string message) {
+    raw.push_back({std::string(rel), line, rule, std::move(message)});
+  }
+
+  bool is_ident(std::size_t i, std::string_view text) const {
+    return i < toks.size() && toks[i].kind == Token::Kind::kIdent &&
+           toks[i].text == text;
+  }
+  bool is_punct(std::size_t i, std::string_view text) const {
+    return i < toks.size() && toks[i].kind == Token::Kind::kPunct &&
+           toks[i].text == text;
+  }
+
+  /// Index just past the `>` matching the `<` at `open` (which must be a
+  /// `<`), or `open + 1` if no well-formed close is found nearby.
+  std::size_t match_angle(std::size_t open, std::size_t* close) const {
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size() && i < open + 256; ++i) {
+      if (is_punct(i, "<")) ++depth;
+      else if (is_punct(i, ">")) {
+        if (--depth == 0) {
+          if (close) *close = i;
+          return i + 1;
+        }
+      } else if (is_punct(i, ";") || is_punct(i, "{")) {
+        break;  // statement ended: was a comparison, not a template
+      }
+    }
+    if (close) *close = open;
+    return open + 1;
+  }
+};
+
+// wall-clock: `<anything>clock::now(`, plus freestanding C time calls.
+void rule_wall_clock(Analysis& a) {
+  if (wall_clock_whitelisted(a.rel)) return;
+  static const std::set<std::string_view> kTimeFns = {
+      "time",   "clock",     "gettimeofday", "clock_gettime",
+      "ftime",  "localtime", "gmtime",       "mktime"};
+  const auto& t = a.toks;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    // <ident containing "clock"> :: now (
+    if (t[i].kind == Token::Kind::kIdent && a.is_punct(i + 1, "::") &&
+        a.is_ident(i + 2, "now")) {
+      std::string lower = t[i].text;
+      std::transform(lower.begin(), lower.end(), lower.begin(),
+                     [](unsigned char ch) { return std::tolower(ch); });
+      if (lower.find("clock") != std::string::npos)
+        a.flag(t[i].line, "wall-clock",
+               t[i].text + "::now() reads a wall clock; simulation state "
+               "must be a pure function of the seed (use prof::PhaseProfiler "
+               "for timing)");
+    }
+    // freestanding time()/clock()/... call, not a member access
+    if (t[i].kind == Token::Kind::kIdent && kTimeFns.count(t[i].text) &&
+        a.is_punct(i + 1, "(")) {
+      const bool member =
+          i > 0 && (a.is_punct(i - 1, ".") || a.is_punct(i - 1, "->"));
+      const bool declared =  // `double time(...)` style declaration
+          i > 0 && t[i - 1].kind == Token::Kind::kIdent;
+      if (!member && !declared)
+        a.flag(t[i].line, "wall-clock",
+               t[i].text + "() reads the system clock; derive timing from "
+               "rounds or the profiler, never from wall time");
+    }
+  }
+}
+
+// banned-random: <random> engines / C rand anywhere outside src/common/rng.
+void rule_banned_random(Analysis& a) {
+  if (random_whitelisted(a.rel)) return;
+  static const std::set<std::string_view> kEngines = {
+      "random_device", "mt19937",     "mt19937_64", "default_random_engine",
+      "minstd_rand",   "minstd_rand0", "knuth_b",   "ranlux24",
+      "ranlux48"};
+  static const std::set<std::string_view> kCallOnly = {
+      "rand", "srand", "rand_r", "drand48", "lrand48", "srand48", "random",
+      "srandom"};
+  const auto& t = a.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent) continue;
+    if (kEngines.count(t[i].text)) {
+      a.flag(t[i].line, "banned-random",
+             "std::" + t[i].text + " is nondeterministic or standard-"
+             "library-specific; all randomness must flow through glap::Rng");
+      continue;
+    }
+    if (kCallOnly.count(t[i].text) && a.is_punct(i + 1, "(")) {
+      const bool member =
+          i > 0 && (a.is_punct(i - 1, ".") || a.is_punct(i - 1, "->"));
+      const bool declared = i > 0 && t[i - 1].kind == Token::Kind::kIdent;
+      if (!member && !declared)
+        a.flag(t[i].line, "banned-random",
+               t[i].text + "() draws from global, seed-independent state; "
+               "use glap::Rng");
+    }
+  }
+}
+
+// unordered-iteration: range-for / begin() over unordered containers in
+// protocol code. Two passes: collect declared unordered variable names,
+// then flag iteration over them (or over inline unordered expressions).
+void rule_unordered_iteration(Analysis& a) {
+  if (!in_protocol_code(a.rel)) return;
+  const auto& t = a.toks;
+  std::set<std::string> unordered_vars;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!a.is_ident(i, "unordered_map") && !a.is_ident(i, "unordered_set"))
+      continue;
+    if (!a.is_punct(i + 1, "<")) continue;
+    std::size_t close = i + 1;
+    std::size_t j = a.match_angle(i + 1, &close);
+    while (a.is_punct(j, "&") || a.is_punct(j, "*")) ++j;
+    if (j < t.size() && t[j].kind == Token::Kind::kIdent)
+      unordered_vars.insert(t[j].text);
+  }
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    // for ( ... : <range containing an unordered name> )
+    if (a.is_ident(i, "for") && a.is_punct(i + 1, "(")) {
+      int depth = 0;
+      std::size_t colon = 0;
+      for (std::size_t j = i + 1; j < t.size() && j < i + 128; ++j) {
+        if (a.is_punct(j, "(")) ++depth;
+        else if (a.is_punct(j, ")")) {
+          if (--depth == 0) break;
+        } else if (a.is_punct(j, ":") && depth == 1 && colon == 0) {
+          colon = j;
+        } else if (a.is_punct(j, ";")) {
+          break;  // classic for loop
+        }
+      }
+      if (colon == 0) continue;
+      int d = 1;
+      for (std::size_t j = colon + 1; j < t.size() && j < colon + 64; ++j) {
+        if (a.is_punct(j, "(")) ++d;
+        else if (a.is_punct(j, ")") && --d == 0) break;
+        const bool hit =
+            t[j].kind == Token::Kind::kIdent &&
+            (unordered_vars.count(t[j].text) ||
+             t[j].text == "unordered_map" || t[j].text == "unordered_set");
+        if (hit) {
+          a.flag(t[i].line, "unordered-iteration",
+                 "range-iteration over '" + t[j].text + "' (unordered "
+                 "container): bucket order depends on hashing/allocation, "
+                 "not the seed — iterate a sorted extraction instead");
+          break;
+        }
+      }
+    }
+    // <unordered var> . begin/end/cbegin/cend — except in argument
+    // position (preceded by '(' or ','), which is the blessed sorted-
+    // extraction idiom: std::vector<...> v(m.begin(), m.end()); sort(v).
+    if (t[i].kind == Token::Kind::kIdent && unordered_vars.count(t[i].text) &&
+        a.is_punct(i + 1, ".") && i + 2 < t.size() &&
+        t[i + 2].kind == Token::Kind::kIdent) {
+      const std::string& m = t[i + 2].text;
+      const bool extraction =
+          i > 0 && (a.is_punct(i - 1, "(") || a.is_punct(i - 1, ","));
+      if (!extraction &&
+          (m == "begin" || m == "end" || m == "cbegin" || m == "cend"))
+        a.flag(t[i].line, "unordered-iteration",
+               "'" + t[i].text + "." + m + "()' iterates an unordered "
+               "container in protocol code; extract into a sorted "
+               "container first");
+    }
+  }
+}
+
+// pointer-order: hashing or ordering keyed on pointer values.
+void rule_pointer_order(Analysis& a) {
+  const auto& t = a.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent) continue;
+    const std::string& name = t[i].text;
+    if (name == "hash" && a.is_punct(i + 1, "<")) {
+      std::size_t close = i + 1;
+      a.match_angle(i + 1, &close);
+      for (std::size_t j = i + 2; j < close; ++j)
+        if (a.is_punct(j, "*")) {
+          a.flag(t[i].line, "pointer-order",
+                 "std::hash over a pointer type: hash values depend on "
+                 "allocation addresses and differ run to run");
+          break;
+        }
+    }
+    // std::map / std::set keyed by a pointer (first template argument).
+    if ((name == "map" || name == "set" || name == "multimap" ||
+         name == "multiset") &&
+        i > 0 && a.is_punct(i - 1, "::") && a.is_punct(i + 1, "<")) {
+      std::size_t close = i + 1;
+      a.match_angle(i + 1, &close);
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (a.is_punct(j, "<")) ++depth;
+        else if (a.is_punct(j, ">")) --depth;
+        else if (a.is_punct(j, ",") && depth == 1) break;  // past the key
+        else if (a.is_punct(j, "*") && depth == 1) {
+          a.flag(t[i].line, "pointer-order",
+                 "std::" + name + " keyed by a pointer orders by address; "
+                 "key on a stable id instead");
+          break;
+        }
+      }
+    }
+    if (name == "reinterpret_cast" && a.is_punct(i + 1, "<")) {
+      std::size_t close = i + 1;
+      a.match_angle(i + 1, &close);
+      for (std::size_t j = i + 2; j < close; ++j)
+        if (t[j].kind == Token::Kind::kIdent &&
+            t[j].text.find("intptr") != std::string::npos) {
+          a.flag(t[i].line, "pointer-order",
+                 "pointer-to-integer cast: address-derived values must "
+                 "never feed ordering, hashing or seeds");
+          break;
+        }
+    }
+  }
+}
+
+// static-mutable: `static` data (without const/constexpr) in protocol code.
+void rule_static_mutable(Analysis& a) {
+  if (!in_protocol_code(a.rel)) return;
+  const auto& t = a.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!a.is_ident(i, "static")) continue;
+    bool is_const = false;
+    std::size_t j = i + 1;
+    // Skip/inspect decl-specifiers before the declarator.
+    while (j < t.size() && t[j].kind == Token::Kind::kIdent &&
+           (t[j].text == "const" || t[j].text == "constexpr" ||
+            t[j].text == "consteval" || t[j].text == "constinit" ||
+            t[j].text == "inline" || t[j].text == "thread_local")) {
+      if (t[j].text == "const" || t[j].text == "constexpr" ||
+          t[j].text == "consteval")
+        is_const = true;
+      ++j;
+    }
+    if (is_const) continue;
+    // Walk to the first structural token: '(' before ';'/'='/'{' means a
+    // function declaration (fine); anything else is static mutable data.
+    // A trailing `const` anywhere before the terminator (e.g.
+    // `static std::string const x`) also counts as immutable.
+    bool mutable_data = false;
+    for (std::size_t k = j; k < t.size() && k < j + 64; ++k) {
+      if (t[k].kind == Token::Kind::kIdent &&
+          (t[k].text == "const" || t[k].text == "constexpr")) {
+        is_const = true;
+        break;
+      }
+      if (a.is_punct(k, "(")) break;  // function (or ctor-style init — rare)
+      if (a.is_punct(k, "<")) {       // template args: skip to close
+        std::size_t close = k;
+        k = a.match_angle(k, &close);
+        if (k == close) break;  // unmatched; give up on this decl
+        --k;                    // loop ++ lands just past the '>'
+        continue;
+      }
+      if (a.is_punct(k, ";") || a.is_punct(k, "=") || a.is_punct(k, "{")) {
+        mutable_data = true;
+        break;
+      }
+    }
+    if (!is_const && mutable_data)
+      a.flag(t[i].line, "static-mutable",
+             "mutable static in protocol code: shared across every node "
+             "and thread, so it breaks both determinism and the wave-"
+             "parallel contract — keep per-node state in the protocol "
+             "object");
+  }
+}
+
+// trace-kind: "ev" names inside string literals must be known kinds.
+void rule_trace_kind(Analysis& a) {
+  const auto& kinds = trace_event_kinds();
+  auto known = [&](const std::string& name) {
+    return std::find(kinds.begin(), kinds.end(), name) != kinds.end();
+  };
+  for (const Token& tok : a.toks) {
+    if (tok.kind != Token::Kind::kString) continue;
+    const std::string& s = tok.text;
+    // Matches both escaped (\"ev\":\") spellings inside ordinary literals
+    // and plain ("ev":") spellings inside raw strings.
+    for (const char* pat : {"\\\"ev\\\":\\\"", "\"ev\":\""}) {
+      const std::string pattern(pat);
+      std::size_t pos = 0;
+      while ((pos = s.find(pattern, pos)) != std::string::npos) {
+        pos += pattern.size();
+        std::size_t end = pos;
+        while (end < s.size() && ident_char(s[end])) ++end;
+        const std::string name = s.substr(pos, end - pos);
+        if (!name.empty() && !known(name))
+          a.flag(tok.line, "trace-kind",
+                 "\"ev\":\"" + name + "\" is not a trace::EventKind (known: "
+                 "migration, power, shuffle, overload, fault, round, qsim, "
+                 "relearn, shard_bytes) — traces written here would not "
+                 "parse");
+      }
+    }
+  }
+}
+
+// checks-guard: GLAP_NO_HOT_CHECKS conditionals closed + carrying #else;
+// the CMake-side name GLAP_ENABLE_CHECKS must never reach C++ code.
+void rule_checks_guard(Analysis& a) {
+  struct Cond {
+    std::size_t line;
+    bool on_hot_checks;
+    bool has_else = false;
+  };
+  std::vector<Cond> stack;
+  for (std::size_t ln = 0; ln < a.lines.size(); ++ln) {
+    const std::string& raw = a.lines[ln];
+    std::size_t p = raw.find_first_not_of(" \t");
+    if (p == std::string::npos || raw[p] != '#') continue;
+    std::istringstream is(raw.substr(p + 1));
+    std::string directive;
+    is >> directive;
+    const bool mentions_hot =
+        raw.find("GLAP_NO_HOT_CHECKS") != std::string::npos;
+    if (directive == "if" || directive == "ifdef" || directive == "ifndef") {
+      stack.push_back({ln + 1, mentions_hot});
+    } else if (directive == "elif" || directive == "else") {
+      if (!stack.empty()) stack.back().has_else = true;
+    } else if (directive == "endif") {
+      if (stack.empty()) {
+        a.flag(ln + 1, "checks-guard", "#endif without a matching #if");
+      } else {
+        const Cond c = stack.back();
+        stack.pop_back();
+        if (c.on_hot_checks && !c.has_else)
+          a.flag(c.line, "checks-guard",
+                 "conditional on GLAP_NO_HOT_CHECKS has no #else: one of "
+                 "the checks-on/checks-off builds is left without a "
+                 "definition");
+      }
+    }
+  }
+  for (const Cond& c : stack)
+    a.flag(c.line, "checks-guard",
+           std::string("unterminated #if") +
+               (c.on_hot_checks ? " on GLAP_NO_HOT_CHECKS" : ""));
+  for (const Token& tok : a.toks)
+    if (tok.kind == Token::Kind::kIdent && tok.text == "GLAP_ENABLE_CHECKS")
+      a.flag(tok.line, "checks-guard",
+             "GLAP_ENABLE_CHECKS is the CMake option name and is never "
+             "defined for the compiler — guard on GLAP_NO_HOT_CHECKS "
+             "(see src/common/assert.hpp)");
+}
+
+// float-narrowing: the Q-table kernels are double end to end.
+void rule_float_narrowing(Analysis& a) {
+  if (!in_qtable_kernels(a.rel)) return;
+  for (const Token& tok : a.toks)
+    if (tok.kind == Token::Kind::kIdent && tok.text == "float")
+      a.flag(tok.line, "float-narrowing",
+             "float in a Q-table kernel: learning state is double end to "
+             "end; a float round-trip silently changes merge/update "
+             "results and breaks golden tests");
+}
+
+// ---- suppression comments ----------------------------------------------
+
+/// Parses `// glap-lint: allow(<rule>): <reason>` (and allow-file) out of
+/// each raw line. Only `//` comments count, and only when the directive
+/// names a plausible (lowercase/dash) rule — so prose, usage strings and
+/// documentation that merely *mention* the syntax never parse as allows.
+/// Malformed directives become "suppression" findings directly.
+std::vector<Suppression> parse_suppressions(
+    std::string_view rel, const std::vector<std::string>& lines,
+    std::vector<Finding>* malformed) {
+  std::vector<Suppression> out;
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& raw = lines[ln];
+    const std::size_t at = raw.find("glap-lint:");
+    if (at == std::string::npos) continue;
+    if (raw.rfind("//", at) == std::string::npos) continue;  // not a comment
+    std::size_t p = at + std::string("glap-lint:").size();
+    while (p < raw.size() && raw[p] == ' ') ++p;
+    bool file_wide = false;
+    if (raw.compare(p, 11, "allow-file(") == 0) {
+      file_wide = true;
+      p += 11;
+    } else if (raw.compare(p, 6, "allow(") == 0) {
+      p += 6;
+    } else {
+      continue;  // mentions glap-lint: but is not a directive
+    }
+    const std::size_t close = raw.find(')', p);
+    if (close == std::string::npos) continue;
+    const std::string rule = raw.substr(p, close - p);
+    const bool rule_shaped =
+        !rule.empty() &&
+        rule.find_first_not_of("abcdefghijklmnopqrstuvwxyz-") ==
+            std::string::npos;
+    if (!rule_shaped) continue;  // documentation placeholder, not an allow
+    std::size_t r = close + 1;
+    if (r < raw.size() && raw[r] == ':') ++r;
+    while (r < raw.size() && raw[r] == ' ') ++r;
+    const std::string reason = raw.substr(r);
+    if (!is_known_rule(rule)) {
+      malformed->push_back({std::string(rel), ln + 1, "suppression",
+                            "allow(" + rule + ") names no known rule (see "
+                            "glap-lint rules)"});
+      continue;
+    }
+    if (reason.empty()) {
+      malformed->push_back(
+          {std::string(rel), ln + 1, "suppression",
+           "allow(" + rule + ") has no justification — every suppression "
+           "must say why the occurrence is safe"});
+      continue;
+    }
+    out.push_back({ln + 1, rule, reason, file_wide, false});
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- public API ---------------------------------------------------------
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kAll(std::begin(kRules),
+                                          std::end(kRules));
+  return kAll;
+}
+
+bool is_known_rule(std::string_view name) {
+  for (const RuleInfo& r : rules())
+    if (name == r.name) return true;
+  return false;
+}
+
+const std::vector<std::string>& trace_event_kinds() {
+  static const std::vector<std::string> kKinds = {
+      "migration", "power", "shuffle", "overload", "fault",
+      "round",     "qsim",  "relearn", "shard_bytes"};
+  return kKinds;
+}
+
+FileReport lint_source(std::string_view rel_path, std::string_view content) {
+  std::vector<std::string> lines;
+  {
+    std::size_t start = 0;
+    while (start <= content.size()) {
+      std::size_t nl = content.find('\n', start);
+      if (nl == std::string_view::npos) {
+        lines.emplace_back(content.substr(start));
+        break;
+      }
+      lines.emplace_back(content.substr(start, nl - start));
+      start = nl + 1;
+    }
+  }
+  const std::vector<Token> toks = tokenize(content);
+  Analysis a{rel_path, toks, lines, {}};
+
+  rule_wall_clock(a);
+  rule_banned_random(a);
+  rule_unordered_iteration(a);
+  rule_pointer_order(a);
+  rule_static_mutable(a);
+  rule_trace_kind(a);
+  rule_checks_guard(a);
+  rule_float_narrowing(a);
+
+  FileReport report;
+  std::vector<Finding> malformed;
+  report.suppressions = parse_suppressions(rel_path, lines, &malformed);
+
+  // Apply suppressions: a finding is dropped by an allow on its line or
+  // the line above, or an allow-file anywhere; the allow is marked used.
+  // Findings under the meta "suppression" rule (malformed or stale
+  // allows) run through the same machinery, so even they can be excused
+  // with an explicit allow(suppression): <reason>.
+  auto suppressed = [&](const Finding& f) {
+    for (Suppression& s : report.suppressions) {
+      if (s.rule != f.rule) continue;
+      if (s.file_wide || s.line == f.line || s.line + 1 == f.line) {
+        s.used = true;
+        return true;
+      }
+    }
+    return false;
+  };
+  for (Finding& f : a.raw)
+    if (!suppressed(f)) report.findings.push_back(std::move(f));
+  for (Finding& f : malformed)
+    if (!suppressed(f)) report.findings.push_back(std::move(f));
+  // A suppression that silences nothing is stale: report it so the allow
+  // inventory shrinks when the code it excused goes away.
+  for (const Suppression& s : report.suppressions) {
+    if (s.used) continue;
+    Finding stale{std::string(rel_path), s.line, "suppression",
+                  "allow(" + s.rule + ") matched no finding — remove the "
+                  "stale suppression"};
+    if (!suppressed(stale)) report.findings.push_back(std::move(stale));
+  }
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Finding& x, const Finding& y) {
+                     return x.line < y.line;
+                   });
+  return report;
+}
+
+TreeReport lint_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  TreeReport report;
+  std::vector<fs::path> files;
+  bool any_root = false;
+  for (const char* sub : {"src", "bench", "tools"}) {
+    const fs::path dir = fs::path(root) / sub;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    any_root = true;
+    for (fs::recursive_directory_iterator it(dir, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".h")
+        files.push_back(it->path());
+    }
+    if (ec) report.io_errors.push_back(dir.string() + ": " + ec.message());
+  }
+  if (!any_root) {
+    report.io_errors.push_back(root +
+                               ": no src/, bench/ or tools/ directory");
+    return report;
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      report.io_errors.push_back(path.string() + ": cannot open");
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string rel =
+        fs::path(fs::relative(path, root)).generic_string();
+    FileReport file = lint_source(rel, buf.str());
+    ++report.files_scanned;
+    for (const Suppression& s : file.suppressions)
+      if (s.used) {
+        ++report.suppressions_used;
+        ++report.rule_suppressions[s.rule];
+      }
+    for (Finding& f : file.findings) {
+      ++report.rule_hits[f.rule];
+      report.findings.push_back(std::move(f));
+    }
+  }
+  return report;
+}
+
+}  // namespace glap::lint

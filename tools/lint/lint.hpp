@@ -1,0 +1,91 @@
+// glap-lint core: a dependency-free, tokenizer-based static analyzer
+// enforcing the project's determinism and safety rules over src/, bench/
+// and tools/ (DESIGN.md §11 documents the full catalogue).
+//
+// The engine's headline claim — bit-identical serial vs wave-parallel
+// rounds — survives only while every source of nondeterminism stays
+// quarantined inside src/common (Rng for randomness, PhaseProfiler for
+// wall clocks). Nothing in the compiler enforces that, so this pass does:
+// it lexes each file (comments and string literals stripped), applies
+// per-directory rules, and honours explicit, justified suppressions.
+//
+// Suppression syntax (justification is mandatory):
+//   // glap-lint: allow(<rule>): <why this occurrence is safe>
+//     — on the violating line or the line directly above it
+//   // glap-lint: allow-file(<rule>): <why this whole file is exempt>
+//     — anywhere in the file (conventionally the top comment block)
+// A suppression that matches nothing, names an unknown rule, or lacks a
+// justification is itself reported under the "suppression" rule, so the
+// allow inventory can only grow deliberately.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace glap::lint {
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string file;     ///< path as reported (repo-relative under scan)
+  std::size_t line = 0; ///< 1-based
+  std::string rule;     ///< rule name, e.g. "wall-clock"
+  std::string message;  ///< human-readable diagnostic
+};
+
+/// One `glap-lint: allow(...)` comment found in a file.
+struct Suppression {
+  std::size_t line = 0;
+  std::string rule;
+  std::string reason;
+  bool file_wide = false;  ///< allow-file(...) vs line-scoped allow(...)
+  bool used = false;       ///< matched at least one would-be finding
+};
+
+/// Static rule metadata (also rendered by `glap-lint rules`).
+struct RuleInfo {
+  const char* name;
+  const char* tier;     ///< "determinism", "safety" or "meta"
+  const char* summary;  ///< one-line description
+};
+
+/// Every rule the analyzer knows, in stable display order.
+const std::vector<RuleInfo>& rules();
+
+/// True iff `name` names a known rule (suppression targets must).
+bool is_known_rule(std::string_view name);
+
+/// The trace-event names the `trace-kind` rule accepts in "ev" literals.
+/// Must track trace::EventKind; tests/tools/test_lint_cli.cpp pins the
+/// two lists against each other so the sets cannot drift.
+const std::vector<std::string>& trace_event_kinds();
+
+/// Result of linting one file.
+struct FileReport {
+  std::vector<Finding> findings;         ///< unsuppressed violations
+  std::vector<Suppression> suppressions; ///< every allow comment seen
+};
+
+/// Lints `content` as if it lived at repo-relative `rel_path`; the path
+/// drives directory-scoped rules (protocol dirs, Q-kernel files, the
+/// src/common whitelists). Pure function of its inputs.
+FileReport lint_source(std::string_view rel_path, std::string_view content);
+
+/// Aggregate over a tree scan.
+struct TreeReport {
+  std::vector<Finding> findings;  ///< across files, in sorted path order
+  std::size_t files_scanned = 0;
+  std::size_t suppressions_used = 0;
+  std::map<std::string, std::size_t> rule_hits;         ///< findings per rule
+  std::map<std::string, std::size_t> rule_suppressions; ///< used allows
+  std::vector<std::string> io_errors;  ///< unreadable files / missing dirs
+};
+
+/// Walks `<root>/src`, `<root>/bench` and `<root>/tools` (every .cpp,
+/// .hpp, .h, in sorted path order) and lints each file. Missing scan
+/// roots or unreadable files are reported in `io_errors`, never thrown.
+TreeReport lint_tree(const std::string& root);
+
+}  // namespace glap::lint
