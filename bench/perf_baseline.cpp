@@ -13,6 +13,14 @@
 // and 1000-PM clusters, reduced round counts) and emits the scaling
 // record collected in BENCH_engine.json.
 //
+// With --scale [label] it sweeps cluster sizes 1k/10k/100k PMs, timing
+// the serial reference engine (quiescence off) against the event-driven
+// engine with quiescence on (DESIGN.md §12) on a stable-heavy workload,
+// and reports rounds/sec, speedup, mean parked fraction and RSS. The
+// record is collected in BENCH_scale.json and mirrored to
+// results/perf_scale.json. Sizes run ascending because VmHWM (the peak
+// RSS readout) is monotone within a process.
+//
 // Build in Release (-O3); see scripts/ci.sh and README "Performance".
 //
 // glap-lint: allow-file(wall-clock): throughput benches time kernels and
@@ -20,7 +28,9 @@
 // simulation state, so the seed-purity contract is untouched.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -210,11 +220,160 @@ int run_engine_scaling(const std::string& label) {
   return 0;
 }
 
+// ---- --scale: serial vs event+quiescence across cluster sizes ----------
+
+/// Reads a "Key:  <n> kB" line from /proc/self/status, in MiB (0.0 when
+/// unavailable, e.g. non-Linux hosts).
+double proc_status_mib(const char* key) {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  const std::size_t len = std::strlen(key);
+  while (std::getline(in, line))
+    if (line.compare(0, len, key) == 0 && line.size() > len &&
+        line[len] == ':')
+      return std::atof(line.c_str() + len + 1) / 1024.0;
+  return 0.0;
+}
+
+std::string cpu_model_name() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos && colon + 2 <= line.size())
+        return line.substr(colon + 2);
+    }
+  return "unknown";
+}
+
+struct ScaleRun {
+  double rounds_per_sec = 0.0;
+  double elapsed_s = 0.0;
+  double parked_fraction = 0.0;  ///< mean quiescent PMs / pm_count (eval)
+  double rss_hwm_mib = 0.0;      ///< process peak RSS after the run
+  std::uint64_t migrations = 0;
+  std::uint32_t final_active_pms = 0;
+};
+
+/// One GLAP run for the scale sweep. `event` selects the event-driven
+/// scheduler with quiescence on; otherwise the serial reference engine
+/// with quiescence off. Workload is stable-heavy: the quiescence payoff
+/// targets steady-state fleets, and the demand-epsilon wake rule needs
+/// most VMs to sit inside the epsilon band.
+ScaleRun run_scale_cell(std::size_t pm_count, sim::Round warmup,
+                        sim::Round eval, bool event) {
+  harness::ExperimentConfig config;
+  config.algorithm = harness::Algorithm::kGlap;
+  config.pm_count = pm_count;
+  config.warmup_rounds = warmup;
+  config.rounds = eval;
+  config.workload.w_stable = 0.70;
+  config.workload.w_diurnal = 0.15;
+  config.workload.w_random_walk = 0.10;
+  config.workload.w_bursty = 0.04;
+  config.workload.w_spike = 0.01;
+  if (event) {
+    config.event_engine = true;
+    config.glap.quiescence.enabled = true;
+    config.glap.quiescence.demand_epsilon = 0.15;
+    config.glap.quiescence.idle_rounds = 8;
+  }
+  config.fit_glap_phases_to_warmup();
+
+  ScaleRun out;
+  const auto start = Clock::now();
+  const auto result = harness::run_experiment(config);
+  out.elapsed_s = seconds_since(start);
+  if (result.rounds.size() != config.rounds) std::abort();
+  out.rounds_per_sec = static_cast<double>(warmup + eval) / out.elapsed_s;
+  out.parked_fraction =
+      result.mean_quiescent_pms() / static_cast<double>(pm_count);
+  out.rss_hwm_mib = proc_status_mib("VmHWM");
+  out.migrations = result.total_migrations;
+  out.final_active_pms = result.final_active_pms;
+  return out;
+}
+
+int run_scale(const std::string& label) {
+  struct Size {
+    const char* name;
+    std::size_t pms;
+    sim::Round warmup;
+    sim::Round eval;
+  };
+  // Ascending sizes (VmHWM is monotone); the evaluation window dominates
+  // the round budget because parking only begins after consolidation
+  // starts. 100k runs a shorter window to bound the sweep's wall-clock.
+  const Size sizes[] = {{"glap_1k", 1'000, 60, 1000},
+                        {"glap_10k", 10'000, 60, 1000},
+                        {"glap_100k", 100'000, 60, 400}};
+
+  harness::BenchReport report(
+      "perf_scale",
+      "Scale sweep — serial engine vs event engine + quiescence "
+      "(host-dependent)");
+  report.add_headline("label", label);
+  report.add_headline("machine", cpu_model_name());
+  report.add_headline(
+      "host_hardware_threads",
+      std::to_string(std::thread::hardware_concurrency()));
+
+  std::printf("{\n");
+  std::printf("  \"label\": \"%s\",\n", label.c_str());
+  std::printf("  \"machine\": \"%s\",\n", cpu_model_name().c_str());
+  std::printf("  \"host_hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  for (const Size& size : sizes) {
+    std::fprintf(stderr, "[perf_baseline] %s serial...\n", size.name);
+    const ScaleRun serial =
+        run_scale_cell(size.pms, size.warmup, size.eval, /*event=*/false);
+    std::fprintf(stderr, "[perf_baseline] %s event+quiescence...\n",
+                 size.name);
+    const ScaleRun event =
+        run_scale_cell(size.pms, size.warmup, size.eval, /*event=*/true);
+    const double speedup = event.rounds_per_sec / serial.rounds_per_sec;
+
+    std::printf("  \"%s_rounds\": %u,\n", size.name,
+                static_cast<unsigned>(size.warmup + size.eval));
+    std::printf("  \"%s_serial_rounds_per_sec\": %.2f,\n", size.name,
+                serial.rounds_per_sec);
+    std::printf("  \"%s_event_rounds_per_sec\": %.2f,\n", size.name,
+                event.rounds_per_sec);
+    std::printf("  \"%s_event_speedup\": %.2f,\n", size.name, speedup);
+    std::printf("  \"%s_event_parked_fraction\": %.3f,\n", size.name,
+                event.parked_fraction);
+    std::printf("  \"%s_migrations_serial\": %llu,\n", size.name,
+                static_cast<unsigned long long>(serial.migrations));
+    std::printf("  \"%s_migrations_event\": %llu,\n", size.name,
+                static_cast<unsigned long long>(event.migrations));
+    std::printf("  \"%s_rss_hwm_mib\": %.1f%s\n", size.name,
+                event.rss_hwm_mib, (&size == &sizes[2]) ? "" : ",");
+
+    const std::string n(size.name);
+    report.add_headline(n + "_rounds",
+                        std::to_string(size.warmup + size.eval));
+    report.add_headline(n + "_serial_rounds_per_sec",
+                        fmt("%.2f", serial.rounds_per_sec));
+    report.add_headline(n + "_event_rounds_per_sec",
+                        fmt("%.2f", event.rounds_per_sec));
+    report.add_headline(n + "_event_speedup", fmt("%.2f", speedup));
+    report.add_headline(n + "_event_parked_fraction",
+                        fmt("%.3f", event.parked_fraction));
+    report.add_headline(n + "_rss_hwm_mib", fmt("%.1f", event.rss_hwm_mib));
+  }
+  std::printf("}\n");
+  report.write();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--engine-scaling") == 0)
     return run_engine_scaling(argc > 2 ? argv[2] : "current");
+  if (argc > 1 && std::strcmp(argv[1], "--scale") == 0)
+    return run_scale(argc > 2 ? argv[2] : "current");
   const std::string label = argc > 1 ? argv[1] : "current";
 
   std::fprintf(stderr, "[perf_baseline] qtable update...\n");

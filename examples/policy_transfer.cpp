@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "cloud/average_tracker.hpp"
 #include "core/learning.hpp"
 #include "core/qtable_pair.hpp"
 #include "qlearn/serialize.hpp"

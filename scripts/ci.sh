@@ -42,6 +42,15 @@
 # AddressSanitizer + UndefinedBehaviorSanitizer build (UB reports are
 # fatal via -fno-sanitize-recover=all); runs the full ctest suite plus
 # bench/parallel_smoke.
+#
+# Stage 9 (scale smoke): a 10k-PM GLAP run on the event-driven engine
+# with quiescence enabled (DESIGN.md §12) must finish inside a
+# wall-clock budget (SCALE_SMOKE_BUDGET_S, default 150 s — ~10x the
+# reference container's time, so it only trips on real regressions),
+# and its trace — including the activity park/wake events — must pass
+# `glap-trace check`. This is the cheap stand-in for the committed
+# 1k/10k/100k sweep in BENCH_scale.json, which is multi-minute and
+# ~10.9 GiB at the top cell and therefore not rerun by CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -104,6 +113,28 @@ if [[ "${RUN_TRACE_VERIFY:-1}" == "1" ]]; then
   fi
   echo "corrupted trace rejected as expected"
   rm -f "$CI_TRACE" "$CI_TRACE.corrupt"
+fi
+
+if [[ "${RUN_SCALE_SMOKE:-1}" == "1" ]]; then
+  echo "== scale smoke: 10k-PM event-engine run + trace check =="
+  GLAP_TRACE=./build-release/tools/glap-trace
+  SMOKE_TRACE=build-release/trace_scale_smoke.jsonl
+  SMOKE_BUDGET_S="${SCALE_SMOKE_BUDGET_S:-150}"
+  smoke_start=$(date +%s)
+  "$GLAP_TRACE" gen "$SMOKE_TRACE" --pms 10000 --warmup 40 --rounds 40 \
+    --event --quiesce
+  smoke_elapsed=$(( $(date +%s) - smoke_start ))
+  if (( smoke_elapsed > SMOKE_BUDGET_S )); then
+    echo "scale smoke took ${smoke_elapsed}s (budget ${SMOKE_BUDGET_S}s):" \
+         "the event engine has regressed at 10k PMs" >&2
+    exit 1
+  fi
+  echo "scale smoke finished in ${smoke_elapsed}s (budget ${SMOKE_BUDGET_S}s)"
+  # The smoke trace carries the quiescence activity events, so this also
+  # verifies the park/wake invariants (activity-reason, alternation,
+  # park-off-pm) at a scale the unit fixtures don't reach.
+  "$GLAP_TRACE" check "$SMOKE_TRACE"
+  rm -f "$SMOKE_TRACE"
 fi
 
 if [[ "${RUN_DOCS_DRIFT:-1}" == "1" ]]; then

@@ -33,7 +33,7 @@ std::size_t bfd_bin_count(const cloud::DataCenter& dc) {
   std::vector<Resources> usages;
   usages.reserve(dc.vm_count());
   for (cloud::VmId v = 0; v < dc.vm_count(); ++v)
-    if (dc.is_placed(v)) usages.push_back(dc.vm(v).current_usage());
+    if (dc.is_placed(v)) usages.push_back(dc.vm_current_usage(v));
   // The oracle packs into the configured *reference* PM class; for
   // heterogeneous fleets it is a capacity-normalized reference, not an
   // exact optimum over mixed bins.

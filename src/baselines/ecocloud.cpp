@@ -34,12 +34,10 @@ sim::Engine::ProtocolSlot EcoCloudProtocol::install(sim::Engine& engine,
   GLAP_REQUIRE(engine.node_count() == dc.pm_count(),
                "engine nodes must map 1:1 onto data-center PMs");
   Rng master(hash_combine(seed, hash_tag("ecocloud")));
-  std::vector<std::unique_ptr<EcoCloudProtocol>> instances;
-  instances.reserve(engine.node_count());
-  for (std::size_t i = 0; i < engine.node_count(); ++i)
-    instances.push_back(
-        std::make_unique<EcoCloudProtocol>(config, dc, master.split(i)));
-  const auto slot = engine.add_protocol_slot(std::move(instances));
+  const auto slot = engine.add_protocol_pool<EcoCloudProtocol>(
+      [&](sim::NodeId i) {
+        return EcoCloudProtocol(config, dc, master.split(i));
+      });
   for (std::size_t i = 0; i < engine.node_count(); ++i)
     EcoCloudInstaller::set_slot(engine.protocol_at<EcoCloudProtocol>(
                                     slot, static_cast<sim::NodeId>(i)),
@@ -78,9 +76,9 @@ std::optional<cloud::VmId> EcoCloudProtocol::pick_vm(cloud::PmId pm) const {
   const auto& vms = dc_.pm(pm).vms();
   if (vms.empty()) return std::nullopt;
   cloud::VmId best = vms.front();
-  double best_mem = dc_.vm(best).current_usage().mem;
+  double best_mem = dc_.vm_current_usage(best).mem;
   for (cloud::VmId v : vms) {
-    const double mem = dc_.vm(v).current_usage().mem;
+    const double mem = dc_.vm_current_usage(v).mem;
     if (mem < best_mem) {
       best = v;
       best_mem = mem;
@@ -99,7 +97,7 @@ std::optional<cloud::PmId> EcoCloudProtocol::probe_place(
     // The power-state read below already touches the candidate, so it is
     // declared before the is_on check.
     if (declare) declare->add(static_cast<sim::NodeId>(candidate));
-    if (!dc_.pm(candidate).is_on()) continue;
+    if (!dc_.pm_on(candidate)) continue;
     if (engine)
       engine->network().count_message(static_cast<sim::NodeId>(source),
                                       static_cast<sim::NodeId>(candidate),
@@ -133,14 +131,14 @@ bool EcoCloudProtocol::plan_evacuation(
   // exact hazard the glap-lint unordered-iteration rule now rejects.
   std::map<cloud::PmId, Resources> reserved;
   for (cloud::VmId vm : dc_.pm(source).vms()) {
-    const Resources usage = dc_.vm(vm).current_usage();
+    const Resources usage = dc_.vm_current_usage(vm);
     bool placed = false;
     for (std::size_t probe = 0; probe < config_.probe_count && !placed;
          ++probe) {
       const auto candidate = static_cast<cloud::PmId>(rng.bounded(n));
       if (candidate == source) continue;
       if (declare) declare->add(static_cast<sim::NodeId>(candidate));
-      if (!dc_.pm(candidate).is_on()) continue;
+      if (!dc_.pm_on(candidate)) continue;
       if (engine)
         engine->network().count_message(
             self, static_cast<sim::NodeId>(candidate), kProbeMsgBytes);

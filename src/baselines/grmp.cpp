@@ -18,17 +18,14 @@ sim::Engine::ProtocolSlot GrmpProtocol::install(
     sim::Engine::ProtocolSlot overlay_slot) {
   GLAP_REQUIRE(engine.node_count() == dc.pm_count(),
                "engine nodes must map 1:1 onto data-center PMs");
-  std::vector<std::unique_ptr<GrmpProtocol>> instances;
-  instances.reserve(engine.node_count());
-  for (std::size_t i = 0; i < engine.node_count(); ++i)
-    instances.push_back(
-        std::make_unique<GrmpProtocol>(config, dc, overlay_slot));
-  return engine.add_protocol_slot(std::move(instances));
+  return engine.add_protocol_pool<GrmpProtocol>([&](sim::NodeId /*i*/) {
+    return GrmpProtocol(config, dc, overlay_slot);
+  });
 }
 
 bool GrmpProtocol::accepts(cloud::PmId pm, cloud::VmId vm) const {
   const Resources projected =
-      dc_.current_usage(pm) + dc_.vm(vm).current_usage();
+      dc_.current_usage(pm) + dc_.vm_current_usage(vm);
   const Resources util =
       projected.divided_by(dc_.pm(pm).spec().capacity());
   if (util.cpu > config_.upper_threshold) return false;
@@ -50,7 +47,7 @@ void GrmpProtocol::pack(sim::Engine& engine, cloud::PmId sender,
     double best_cpu = -1.0;
     for (cloud::VmId v : vms) {
       if (!accepts(recipient, v)) continue;
-      const double cpu = dc_.vm(v).current_usage().cpu;
+      const double cpu = dc_.vm_current_usage(v).cpu;
       if (cpu > best_cpu) {
         best = v;
         best_cpu = cpu;

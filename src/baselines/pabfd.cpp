@@ -30,11 +30,8 @@ sim::Engine::ProtocolSlot PabfdManager::install(sim::Engine& engine,
   GLAP_REQUIRE(engine.node_count() == dc.pm_count(),
                "engine nodes must map 1:1 onto data-center PMs");
   GLAP_REQUIRE(manager_node < engine.node_count(), "manager node out of range");
-  std::vector<std::unique_ptr<PabfdManager>> instances;
-  instances.reserve(engine.node_count());
-  for (std::size_t i = 0; i < engine.node_count(); ++i)
-    instances.push_back(std::make_unique<PabfdManager>(config, dc));
-  const auto slot = engine.add_protocol_slot(std::move(instances));
+  const auto slot = engine.add_protocol_pool<PabfdManager>(
+      [&](sim::NodeId /*i*/) { return PabfdManager(config, dc); });
   PabfdInstaller::mark_manager(
       engine.protocol_at<PabfdManager>(slot, manager_node), manager_node);
   return slot;
@@ -118,7 +115,7 @@ double PabfdManager::upper_threshold(cloud::PmId pm) const {
 
 void PabfdManager::record_history() {
   for (cloud::PmId p = 0; p < dc_.pm_count(); ++p) {
-    if (!dc_.pm(p).is_on()) continue;
+    if (!dc_.pm_on(p)) continue;
     auto& h = history_[p];
     h.push_back(std::min(dc_.current_utilization(p).cpu, 1.0));
     while (h.size() > config_.history_window) h.pop_front();
@@ -131,9 +128,9 @@ std::optional<cloud::PmId> PabfdManager::best_target(
   std::optional<cloud::PmId> best;
   double best_power_delta = 0.0;
   double best_util = 0.0;
-  const Resources vm_usage = dc_.vm(vm).current_usage();
+  const Resources vm_usage = dc_.vm_current_usage(vm);
   for (cloud::PmId p = 0; p < dc_.pm_count(); ++p) {
-    if (p == exclude || barred[p] || !dc_.pm(p).is_on()) continue;
+    if (p == exclude || barred[p] || !dc_.pm_on(p)) continue;
     if (!dc_.can_host(p, vm)) continue;
     const double u_before = std::min(dc_.current_utilization(p).cpu, 1.0);
     const double u_after = std::min(
@@ -161,7 +158,7 @@ std::optional<cloud::PmId> PabfdManager::best_target(
 std::optional<cloud::PmId> PabfdManager::wake_one(sim::Engine& engine) {
   if (!config_.allow_wake) return std::nullopt;
   for (cloud::PmId p = 0; p < dc_.pm_count(); ++p) {
-    if (dc_.pm(p).is_on()) continue;
+    if (dc_.pm_on(p)) continue;
     dc_.set_power(p, cloud::PmPower::kOn);
     engine.set_status(static_cast<sim::NodeId>(p), sim::NodeStatus::kActive);
     return p;
@@ -174,27 +171,27 @@ void PabfdManager::relieve_overloads(sim::Engine& engine) {
   // smallest resident memory first).
   std::vector<std::pair<cloud::VmId, cloud::PmId>> to_place;
   for (cloud::PmId p = 0; p < dc_.pm_count(); ++p) {
-    if (!dc_.pm(p).is_on()) continue;
+    if (!dc_.pm_on(p)) continue;
     const double tu = upper_threshold(p);
     double cpu_usage = dc_.current_usage(p).cpu;
     const double cap = dc_.pm(p).spec().cpu_mips;
     if (cpu_usage / cap <= tu) continue;
     auto vms = dc_.pm(p).vms();
     std::sort(vms.begin(), vms.end(), [&](cloud::VmId a, cloud::VmId b) {
-      return dc_.vm(a).current_usage().mem < dc_.vm(b).current_usage().mem;
+      return dc_.vm_current_usage(a).mem < dc_.vm_current_usage(b).mem;
     });
     for (cloud::VmId v : vms) {
       if (cpu_usage / cap <= tu) break;
       to_place.emplace_back(v, p);
-      cpu_usage -= dc_.vm(v).current_usage().cpu;
+      cpu_usage -= dc_.vm_current_usage(v).cpu;
     }
   }
 
   // Power-aware BFD placement: decreasing CPU demand.
   std::sort(to_place.begin(), to_place.end(),
             [&](const auto& a, const auto& b) {
-              return dc_.vm(a.first).current_usage().cpu >
-                     dc_.vm(b.first).current_usage().cpu;
+              return dc_.vm_current_usage(a.first).cpu >
+                     dc_.vm_current_usage(b.first).cpu;
             });
   std::vector<bool> barred(dc_.pm_count(), false);
   for (const auto& [vm, source] : to_place) {
@@ -218,7 +215,7 @@ void PabfdManager::evacuate_underloaded(sim::Engine& engine) {
   std::vector<cloud::PmId> order;
   for (cloud::PmId p = 0; p < dc_.pm_count(); ++p) {
     // The manager's own host must stay on.
-    if (!dc_.pm(p).is_on() || p == static_cast<cloud::PmId>(manager_node_))
+    if (!dc_.pm_on(p) || p == static_cast<cloud::PmId>(manager_node_))
       continue;
     if (dc_.pm(p).empty()) {
       dc_.set_power(p, cloud::PmPower::kSleep);
@@ -256,16 +253,16 @@ void PabfdManager::evacuate_underloaded(sim::Engine& engine) {
     }
     auto vms = dc_.pm(p).vms();
     std::sort(vms.begin(), vms.end(), [&](cloud::VmId a, cloud::VmId b) {
-      return dc_.vm(a).current_usage().cpu > dc_.vm(b).current_usage().cpu;
+      return dc_.vm_current_usage(a).cpu > dc_.vm_current_usage(b).cpu;
     });
     std::vector<std::pair<cloud::VmId, cloud::PmId>> plan;
     bool feasible = true;
     for (cloud::VmId v : vms) {
-      const Resources usage = dc_.vm(v).current_usage();
+      const Resources usage = dc_.vm_current_usage(v);
       std::optional<cloud::PmId> target;
       double best_spare = 0.0;
       for (cloud::PmId t = 0; t < dc_.pm_count(); ++t) {
-        if (t == p || barred[t] || !dc_.pm(t).is_on()) continue;
+        if (t == p || barred[t] || !dc_.pm_on(t)) continue;
         if (usage.cpu > spare_cpu[t] || usage.mem > spare_mem[t]) continue;
         // Best fit: tightest remaining CPU.
         if (!target || spare_cpu[t] < best_spare) {
@@ -311,7 +308,7 @@ void PabfdManager::execute(sim::Engine& engine, sim::NodeId self,
   if (!is_manager_ || self != manager_node_) return;
   // The manager polls every active PM (monitoring traffic).
   for (cloud::PmId p = 0; p < dc_.pm_count(); ++p)
-    if (dc_.pm(p).is_on())
+    if (dc_.pm_on(p))
       engine.network().count_message(static_cast<sim::NodeId>(p), self,
                                      kMonitorMsgBytes);
   record_history();

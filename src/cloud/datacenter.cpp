@@ -1,6 +1,7 @@
 #include "cloud/datacenter.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/metrics.hpp"
 #include "common/tracing.hpp"
@@ -26,6 +27,13 @@ DataCenter::DataCenter(std::vector<PmSpec> pm_specs,
     : config_(config),
       host_of_(vm_specs.size(), static_cast<PmId>(-1)),
       usage_cache_(pm_specs.size()),
+      pm_on_(pm_specs.size(), 1),
+      vm_demand_(vm_specs.size()),
+      vm_usage_(vm_specs.size()),
+      vm_avg_(vm_specs.size()),
+      vm_avg_count_(vm_specs.size(), 0),
+      vm_capacity_(vm_specs.size()),
+      vm_wake_ref_(vm_specs.size()),
       active_pms_(pm_specs.size()),
       sla_(std::max<std::size_t>(1, pm_specs.size()),
            std::max<std::size_t>(1, vm_specs.size()), config.sla) {
@@ -35,16 +43,13 @@ DataCenter::DataCenter(std::vector<PmSpec> pm_specs,
   vms_.reserve(vm_specs.size());
   for (std::size_t i = 0; i < pm_specs.size(); ++i)
     pms_.emplace_back(static_cast<PmId>(i), pm_specs[i]);
-  for (std::size_t i = 0; i < vm_specs.size(); ++i)
+  for (std::size_t i = 0; i < vm_specs.size(); ++i) {
     vms_.emplace_back(static_cast<VmId>(i), vm_specs[i]);
+    vm_capacity_[i] = vm_specs[i].capacity();
+  }
 }
 
 const Pm& DataCenter::pm(PmId id) const {
-  GLAP_REQUIRE(id < pms_.size(), "pm id out of range");
-  return pms_[id];
-}
-
-Pm& DataCenter::pm_mutable(PmId id) {
   GLAP_REQUIRE(id < pms_.size(), "pm id out of range");
   return pms_[id];
 }
@@ -65,11 +70,13 @@ void DataCenter::place(VmId vm_id, PmId pm_id) {
   GLAP_REQUIRE(pm_id < pms_.size(), "pm id out of range");
   GLAP_REQUIRE(host_of_[vm_id] == static_cast<PmId>(-1),
                "vm already placed; use migrate()");
-  GLAP_REQUIRE(pms_[pm_id].is_on(), "cannot place on a sleeping pm");
+  GLAP_REQUIRE(pm_on_[pm_id] != 0, "cannot place on a sleeping pm");
   pms_[pm_id].add_vm(vm_id);
   host_of_[vm_id] = pm_id;
-  usage_cache_[pm_id] += vms_[vm_id].current_usage();
+  usage_cache_[pm_id] += vm_usage_[vm_id];
   ++placed_vms_;
+  vm_wake_ref_[vm_id] = vm_demand_[vm_id];
+  if (wake_hook_) wake_hook_(pm_id, WakeEvent::kMigration);
 }
 
 void DataCenter::depart(VmId vm_id) {
@@ -77,9 +84,10 @@ void DataCenter::depart(VmId vm_id) {
   const PmId host = host_of(vm_id);  // throws when not placed
   const bool removed = pms_[host].remove_vm(vm_id);
   GLAP_ASSERT(removed, "placement map out of sync");
-  usage_cache_[host] -= vms_[vm_id].current_usage();
+  usage_cache_[host] -= vm_usage_[vm_id];
   host_of_[vm_id] = static_cast<PmId>(-1);
   --placed_vms_;
+  if (wake_hook_) wake_hook_(host, WakeEvent::kMigration);
 }
 
 bool DataCenter::is_placed(VmId vm_id) const {
@@ -168,7 +176,7 @@ Resources DataCenter::current_utilization(PmId id) const {
 Resources DataCenter::average_utilization(PmId id) const {
   const Pm& host = pm(id);
   Resources sum;
-  for (VmId v : host.vms()) sum += vms_[v].average_usage();
+  for (VmId v : host.vms()) sum += vm_avg_[v].scaled_by(vm_capacity_[v]);
   return sum.divided_by(host.spec().capacity());
 }
 
@@ -184,16 +192,15 @@ bool DataCenter::cpu_saturated(PmId id) const {
 bool DataCenter::can_host(PmId pm_id, VmId vm_id) const {
   GLAP_REQUIRE(pm_id < pms_.size(), "pm id out of range");
   GLAP_REQUIRE(vm_id < vms_.size(), "vm id out of range");
-  if (!pms_[pm_id].is_on()) return false;
-  const Resources projected =
-      usage_cache_[pm_id] + vms_[vm_id].current_usage();
+  if (pm_on_[pm_id] == 0) return false;
+  const Resources projected = usage_cache_[pm_id] + vm_usage_[vm_id];
   return projected.fits_within(pms_[pm_id].spec().capacity());
 }
 
 std::size_t DataCenter::overloaded_pm_count() const {
   std::size_t count = 0;
   for (PmId p = 0; p < pms_.size(); ++p)
-    if (pms_[p].is_on() && overloaded(p)) ++count;
+    if (pm_on_[p] != 0 && overloaded(p)) ++count;
   return count;
 }
 
@@ -202,10 +209,10 @@ MigrationRecord DataCenter::migrate(VmId vm_id, PmId to) {
   GLAP_REQUIRE(to < pms_.size(), "pm id out of range");
   const PmId from = host_of(vm_id);
   GLAP_REQUIRE(from != to, "migration to the current host");
-  GLAP_REQUIRE(pms_[to].is_on(), "migration target is sleeping");
+  GLAP_REQUIRE(pm_on_[to] != 0, "migration target is sleeping");
 
-  const Vm& moving = vms_[vm_id];
-  const double tau = migration_seconds(moving.current_usage().mem,
+  const Resources moving_usage = vm_usage_[vm_id];
+  const double tau = migration_seconds(moving_usage.mem,
                                        pms_[from].spec().migration_bw_mbps,
                                        pms_[to].spec().migration_bw_mbps);
   const double src_util = std::min(current_utilization(from).cpu, 1.0);
@@ -218,8 +225,8 @@ MigrationRecord DataCenter::migrate(VmId vm_id, PmId to) {
   GLAP_ASSERT(removed, "placement map out of sync");
   pms_[to].add_vm(vm_id);
   host_of_[vm_id] = to;
-  usage_cache_[from] -= moving.current_usage();
-  usage_cache_[to] += moving.current_usage();
+  usage_cache_[from] -= moving_usage;
+  usage_cache_[to] += moving_usage;
 
   MigrationRecord record{vm_id, from, to, round_, tau, energy};
   // Observability: both sinks buffer per shard with (order_key, seq) tags
@@ -228,7 +235,7 @@ MigrationRecord DataCenter::migrate(VmId vm_id, PmId to) {
   if (trace_ != nullptr)
     trace_->emit(trace::Kind::kMigration, static_cast<std::int64_t>(vm_id),
                  static_cast<std::int64_t>(from), static_cast<std::int64_t>(to),
-                 0, moving.current_usage().cpu, energy);
+                 0, moving_usage.cpu, energy);
   if (ctr_migrations_ != nullptr) {
     ctr_migrations_->inc();
     hist_tau_->observe(tau);
@@ -237,9 +244,13 @@ MigrationRecord DataCenter::migrate(VmId vm_id, PmId to) {
   if (deferred_accounting_) {
     exec::Context& ctx = exec::context();
     deferred_log_[ctx.shard_slot].push_back(
-        {ctx.order_key, ctx.seq++, record, moving.current_usage().cpu});
+        {ctx.order_key, ctx.seq++, record, moving_usage.cpu});
   } else {
-    apply_migration_accounting(record, moving.current_usage().cpu);
+    apply_migration_accounting(record, moving_usage.cpu);
+  }
+  if (wake_hook_) {
+    wake_hook_(from, WakeEvent::kMigration);
+    wake_hook_(to, WakeEvent::kMigration);
   }
   return record;
 }
@@ -280,11 +291,12 @@ void DataCenter::commit_deferred_accounting() {
 }
 
 void DataCenter::set_power(PmId id, PmPower power) {
-  Pm& target = pm_mutable(id);
-  if (target.power() == power) return;
+  const Pm& target = pm(id);
+  const std::uint8_t on = power == PmPower::kSleep ? 0 : 1;
+  if (pm_on_[id] == on) return;
   if (power == PmPower::kSleep)
     GLAP_REQUIRE(target.empty(), "cannot sleep a pm that still hosts vms");
-  target.set_power(power);
+  pm_on_[id] = on;
   if (power == PmPower::kSleep)
     active_pms_.decrement();
   else
@@ -293,6 +305,16 @@ void DataCenter::set_power(PmId id, PmPower power) {
     trace_->emit(trace::Kind::kPower, static_cast<std::int64_t>(id),
                  power == PmPower::kSleep ? 0 : 1);
   if (ctr_power_transitions_ != nullptr) ctr_power_transitions_->inc();
+  if (wake_hook_) wake_hook_(id, WakeEvent::kPower);
+}
+
+void DataCenter::set_wake_hook(WakeHook hook, double demand_epsilon) {
+  GLAP_REQUIRE(demand_epsilon >= 0.0, "demand epsilon must be non-negative");
+  wake_hook_ = std::move(hook);
+  demand_epsilon_ = demand_epsilon;
+  // Re-anchor the references so the first post-install drift is measured
+  // from the demand the caller saw when it installed the hook.
+  if (wake_hook_) vm_wake_ref_ = vm_demand_;
 }
 
 void DataCenter::set_telemetry(metrics::MetricsRegistry* registry,
@@ -315,20 +337,42 @@ void DataCenter::observe_demands(std::span<const Resources> fractions) {
   GLAP_REQUIRE(fractions.size() == vms_.size(),
                "need one demand sample per vm");
   // Rebuild the per-PM aggregate cache from scratch (O(VMs)); departed
-  // VMs neither observe demand nor contribute usage.
+  // VMs neither observe demand nor contribute usage. The fold walks the
+  // flat demand/average/usage arrays in VmId order — one linear pass.
   std::fill(usage_cache_.begin(), usage_cache_.end(), Resources{});
+  const bool hooked = static_cast<bool>(wake_hook_);
   for (std::size_t v = 0; v < vms_.size(); ++v) {
     const PmId host = host_of_[v];
     if (host == static_cast<PmId>(-1)) continue;
-    vms_[v].observe_demand(fractions[v]);
-    usage_cache_[host] += vms_[v].current_usage();
+    const Resources& f = fractions[v];
+    GLAP_REQUIRE(f.cpu >= 0.0 && f.cpu <= 1.0 && f.mem >= 0.0 && f.mem <= 1.0,
+                 "demand fraction out of [0,1]");
+    vm_demand_[v] = f;
+    // The paper's running average: ((c·v) + d(t)) / (c + 1). Keep the
+    // exact AverageTracker arithmetic so results are bit-identical.
+    const auto c = static_cast<double>(vm_avg_count_[v]);
+    vm_avg_[v] = (vm_avg_[v] * c + f) * (1.0 / (c + 1.0));
+    ++vm_avg_count_[v];
+    vm_usage_[v] = f.scaled_by(vm_capacity_[v]);
+    usage_cache_[host] += vm_usage_[v];
+    if (hooked && (std::abs(f.cpu - vm_wake_ref_[v].cpu) > demand_epsilon_ ||
+                   std::abs(f.mem - vm_wake_ref_[v].mem) > demand_epsilon_)) {
+      vm_wake_ref_[v] = f;
+      wake_hook_(host, WakeEvent::kDemand);
+    }
+  }
+  if (hooked) {
+    // Overloaded PMs must always run their shed logic next round, even
+    // when every hosted VM stayed inside its epsilon band.
+    for (PmId p = 0; p < pms_.size(); ++p)
+      if (pm_on_[p] != 0 && overloaded(p)) wake_hook_(p, WakeEvent::kDemand);
   }
 }
 
 void DataCenter::end_round() {
   const double dt = config_.round_seconds;
   for (PmId p = 0; p < pms_.size(); ++p) {
-    const bool active = pms_[p].is_on();
+    const bool active = pm_on_[p] != 0;
     sla_.record_pm_round(p, active, active && cpu_saturated(p), dt);
     if (active) {
       const double u = std::min(current_utilization(p).cpu, 1.0);
@@ -337,7 +381,7 @@ void DataCenter::end_round() {
   }
   for (VmId v = 0; v < vms_.size(); ++v)
     if (host_of_[v] != static_cast<PmId>(-1))
-      sla_.record_vm_round(v, vms_[v].current_usage().cpu, dt);
+      sla_.record_vm_round(v, vm_usage_[v].cpu, dt);
   migrations_this_round_ = 0;
   ++round_;
 }

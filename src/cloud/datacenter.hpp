@@ -8,9 +8,17 @@
 //
 // Consolidation algorithms only mutate the data center through migrate()
 // and set_power(), so every placement invariant is enforced in one place.
+//
+// Hot node state is struct-of-arrays: per-VM demand fractions, running
+// averages, and precomputed absolute usage, plus the per-PM power bitmap,
+// live in flat vectors indexed by VmId/PmId. The Vm/Pm objects carry only
+// identity and hardware description, so the per-round demand fold and the
+// overload/power scans at 100k PMs walk contiguous memory.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -19,6 +27,7 @@
 #include "cloud/pm.hpp"
 #include "cloud/sla.hpp"
 #include "cloud/vm.hpp"
+#include "common/assert.hpp"
 #include "common/exec_context.hpp"
 #include "common/rng.hpp"
 
@@ -112,6 +121,41 @@ class DataCenter {
     return config_;
   }
 
+  // ------------------------------------------------- node state (SoA pools)
+
+  /// True when the PM is powered on (flat bitmap; the Pm object itself
+  /// carries no power state).
+  [[nodiscard]] bool pm_on(PmId id) const {
+    GLAP_REQUIRE(id < pm_on_.size(), "pm id out of range");
+    return pm_on_[id] != 0;
+  }
+
+  /// Current demand as fractions of the VM's own allocation.
+  [[nodiscard]] Resources vm_demand_fraction(VmId id) const {
+    GLAP_REQUIRE(id < vm_demand_.size(), "vm id out of range");
+    return vm_demand_[id];
+  }
+  /// Running-average demand as fractions of the VM allocation (the
+  /// paper's {c, v} piggyback tuple, folded per observe_demands call).
+  [[nodiscard]] Resources vm_average_fraction(VmId id) const {
+    GLAP_REQUIRE(id < vm_avg_.size(), "vm id out of range");
+    return vm_avg_[id];
+  }
+  /// Current absolute usage (MIPS, MB); precomputed at observation time.
+  [[nodiscard]] Resources vm_current_usage(VmId id) const {
+    GLAP_REQUIRE(id < vm_usage_.size(), "vm id out of range");
+    return vm_usage_[id];
+  }
+  /// Average absolute usage (MIPS, MB).
+  [[nodiscard]] Resources vm_average_usage(VmId id) const {
+    GLAP_REQUIRE(id < vm_avg_.size(), "vm id out of range");
+    return vm_avg_[id].scaled_by(vm_capacity_[id]);
+  }
+  [[nodiscard]] std::uint64_t vm_observation_count(VmId id) const {
+    GLAP_REQUIRE(id < vm_avg_count_.size(), "vm id out of range");
+    return vm_avg_count_[id];
+  }
+
   // ---------------------------------------------------------- utilization
 
   /// Aggregate *current* usage of a PM in absolute units (MIPS, MB).
@@ -166,6 +210,28 @@ class DataCenter {
   /// it after every engine step). No-op when nothing is deferred.
   void commit_deferred_accounting();
 
+  // ------------------------------------------------------- quiescence hook
+
+  /// Placement/demand events the quiescence engine re-activates PMs on.
+  enum class WakeEvent : std::uint8_t {
+    kDemand,     ///< a hosted VM's demand moved past the epsilon band, or
+                 ///< the PM is currently overloaded
+    kMigration,  ///< a VM arrived at / left the PM (migration or churn)
+    kPower,      ///< the PM's power state changed
+  };
+  using WakeHook = std::function<void(PmId, WakeEvent)>;
+
+  /// Installs the wake hook the harness bridges to Engine::wake(). The
+  /// hook fires on migrate()/place()/depart() for both endpoints, on
+  /// set_power() transitions, and during observe_demands() for every PM
+  /// hosting a VM whose demand fraction drifted more than
+  /// `demand_epsilon` (either resource) from its last-notified reference,
+  /// plus every overloaded PM. Reference fractions advance only when the
+  /// hook fires, so the notification sequence is a pure function of the
+  /// demand stream and placement history — identical across engine modes.
+  /// Pass a null hook to detach.
+  void set_wake_hook(WakeHook hook, double demand_epsilon);
+
   /// Attaches observability sinks (neither owned; either may be null).
   /// Resolves and caches the DataCenter's instruments — dc.migrations,
   /// dc.power_transitions, dc.migration_tau_s, dc.migration_energy_j —
@@ -210,8 +276,6 @@ class DataCenter {
   }
 
  private:
-  [[nodiscard]] Pm& pm_mutable(PmId id);
-
   struct DeferredMigration {
     std::uint64_t order_key;  ///< serial rank of the initiating interaction
     std::uint32_t seq;        ///< mutation index within that interaction
@@ -228,6 +292,16 @@ class DataCenter {
   std::vector<PmId> host_of_;
   std::size_t placed_vms_ = 0;
   std::vector<Resources> usage_cache_;  // per-PM aggregate current usage
+  // Struct-of-arrays node state (hot paths scan these linearly).
+  std::vector<std::uint8_t> pm_on_;      // power bitmap, 1 = on
+  std::vector<Resources> vm_demand_;     // current fraction of allocation
+  std::vector<Resources> vm_usage_;      // absolute usage = demand × capacity
+  std::vector<Resources> vm_avg_;        // running-average fraction
+  std::vector<std::uint64_t> vm_avg_count_;
+  std::vector<Resources> vm_capacity_;   // flat copy of spec().capacity()
+  std::vector<Resources> vm_wake_ref_;   // last hook-notified fraction
+  WakeHook wake_hook_;
+  double demand_epsilon_ = 0.0;
   RelaxedCounter active_pms_;
   bool deferred_accounting_ = false;
   /// One log per exec shard; threads append lock-free to their own shard.

@@ -1,6 +1,7 @@
-// Physical machine: capacity, power state, and the set of hosted VMs.
-// Aggregated utilization lives on DataCenter (which owns the VM objects);
-// the PM only tracks membership and its power/activity bookkeeping.
+// Physical machine: capacity, power model, and the set of hosted VMs.
+// Aggregated utilization and the power bit live on DataCenter (which
+// owns the VM objects and the struct-of-arrays node state); the PM only
+// tracks membership and its static hardware description.
 #pragma once
 
 #include <vector>
@@ -23,9 +24,6 @@ class Pm {
     return power_model_;
   }
 
-  [[nodiscard]] PmPower power() const noexcept { return power_; }
-  [[nodiscard]] bool is_on() const noexcept { return power_ == PmPower::kOn; }
-
   [[nodiscard]] const std::vector<VmId>& vms() const noexcept { return vms_; }
   [[nodiscard]] bool empty() const noexcept { return vms_.empty(); }
   [[nodiscard]] std::size_t vm_count() const noexcept { return vms_.size(); }
@@ -35,12 +33,10 @@ class Pm {
 
   void add_vm(VmId vm) { vms_.push_back(vm); }
   bool remove_vm(VmId vm);
-  void set_power(PmPower p) noexcept { power_ = p; }
 
   PmId id_;
   PmSpec spec_;
   LinearPowerModel power_model_;
-  PmPower power_ = PmPower::kOn;
   std::vector<VmId> vms_;
 };
 

@@ -37,7 +37,7 @@ std::size_t RackTopology::active_racks(const DataCenter& dc) const {
   std::size_t active = 0;
   for (RackId r = 0; r < racks_; ++r) {
     for (PmId p : members(r)) {
-      if (dc.pm(p).is_on()) {
+      if (dc.pm_on(p)) {
         ++active;
         break;
       }
@@ -51,7 +51,7 @@ double RackTopology::rack_load(const DataCenter& dc, RackId rack) const {
   double sum = 0.0;
   std::size_t on = 0;
   for (PmId p : members(rack)) {
-    if (!dc.pm(p).is_on()) continue;
+    if (!dc.pm_on(p)) continue;
     sum += dc.average_utilization(p).sum();
     ++on;
   }

@@ -1,10 +1,10 @@
-// Virtual machine: nominal allocation plus the live demand signal.
-// Demand is stored as fractions of the VM's own allocation; absolute
-// usage (MIPS, MB) is derived on demand. The average tracker implements
-// the paper's {c, v} piggyback tuple.
+// Virtual machine identity: id plus nominal allocation. The live demand
+// signal (current fraction, running average, absolute usage) lives in
+// DataCenter's struct-of-arrays pools — see datacenter.hpp — so the
+// per-round demand fold and the PM aggregation scans walk cache-linear
+// arrays instead of striding over VM objects.
 #pragma once
 
-#include "cloud/average_tracker.hpp"
 #include "cloud/specs.hpp"
 
 namespace glap::cloud {
@@ -16,37 +16,9 @@ class Vm {
   [[nodiscard]] VmId id() const noexcept { return id_; }
   [[nodiscard]] const VmSpec& spec() const noexcept { return spec_; }
 
-  /// Records this round's demand (fractions of the VM's allocation) and
-  /// folds it into the running average.
-  void observe_demand(const Resources& fraction);
-
-  /// Current demand as fractions of the VM allocation.
-  [[nodiscard]] Resources demand_fraction() const noexcept {
-    return demand_fraction_;
-  }
-  /// Running-average demand as fractions of the VM allocation.
-  [[nodiscard]] Resources average_fraction() const noexcept {
-    return tracker_.average();
-  }
-
-  /// Current absolute usage (MIPS, MB).
-  [[nodiscard]] Resources current_usage() const noexcept {
-    return demand_fraction_.scaled_by(spec_.capacity());
-  }
-  /// Average absolute usage (MIPS, MB).
-  [[nodiscard]] Resources average_usage() const noexcept {
-    return tracker_.average().scaled_by(spec_.capacity());
-  }
-
-  [[nodiscard]] std::uint64_t observation_count() const noexcept {
-    return tracker_.count();
-  }
-
  private:
   VmId id_;
   VmSpec spec_;
-  Resources demand_fraction_{};
-  AverageTracker tracker_;
 };
 
 }  // namespace glap::cloud

@@ -260,6 +260,44 @@ void InvariantChecker::add(const TraceEvent& e, std::size_t line) {
     }
     case EventKind::kFault:
       break;  // semantics land with the fault-injection harness
+    case EventKind::kActivity: {
+      const auto& a = e.activity;
+      static const std::set<std::string> kKnownReasons{
+          "converged", "gossip",   "demand",  "migration",
+          "status",    "schedule", "relearn"};
+      if (kKnownReasons.count(a.reason) == 0) {
+        std::ostringstream msg;
+        msg << "pm " << a.pm << " activity event has unknown reason '"
+            << a.reason << "'";
+        report(line, e.round, "activity-reason", msg.str());
+      } else if (a.awake == (a.reason == "converged")) {
+        std::ostringstream msg;
+        msg << "pm " << a.pm << (a.awake ? " woke" : " parked")
+            << " with reason '" << a.reason
+            << "' (parking must be 'converged', wakes must not)";
+        report(line, e.round, "activity-reason", msg.str());
+      }
+      if (a.awake) {
+        if (parked_.erase(a.pm) == 0) {
+          std::ostringstream msg;
+          msg << "pm " << a.pm << " re-activated but was not parked";
+          report(line, e.round, "activity-alternation", msg.str());
+        }
+      } else {
+        if (!parked_.insert(a.pm).second) {
+          std::ostringstream msg;
+          msg << "pm " << a.pm << " parked twice in a row";
+          report(line, e.round, "activity-alternation", msg.str());
+        }
+        const auto known = power_on_.find(a.pm);
+        if (known != power_on_.end() && !known->second) {
+          std::ostringstream msg;
+          msg << "powered-off pm " << a.pm << " parked as quiescent";
+          report(line, e.round, "activity-park-off-pm", msg.str());
+        }
+      }
+      break;
+    }
     case EventKind::kRound: {
       const auto& s = e.summary;
       const std::uint64_t migrations_seen =

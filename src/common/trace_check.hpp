@@ -137,6 +137,13 @@ struct Violation {
 ///   summary-active-delta     active_pms deltas == net power events between
 ///                            consecutive summaries (capacity conservation)
 ///   qsim-range               similarity in [-1, 1]
+///   activity-alternation     per-PM activity events alternate: a PM parks
+///                            only while awake and re-activates only while
+///                            parked (mirrors Engine's quiescent set)
+///   activity-park-off-pm     only powered-on PMs park (the engine un-parks
+///                            a node before any lifecycle transition)
+///   activity-reason          parking carries reason "converged"; wakes
+///                            carry any other known sim::WakeReason name
 class InvariantChecker {
  public:
   struct Options {
@@ -187,6 +194,9 @@ class InvariantChecker {
   /// PMs named by the most recent *completed* overload report that have
   /// not shed a VM or power-cycled since.
   std::set<std::int64_t> still_overloaded_;
+
+  /// PMs currently parked per the activity event stream.
+  std::set<std::int64_t> parked_;
 
   // Open overload report (driver scan in progress for report_round_).
   bool report_open_ = false;

@@ -214,6 +214,16 @@ class Fields {
     *out = m->value.boolean;
   }
 
+  void require_string(std::string_view key, std::string* out) {
+    const Member* m = require(key);
+    if (m == nullptr) return;
+    if (m->value.type != JsonValue::Type::kString) {
+      fail(std::string("field '") + std::string(key) + "' is not a string");
+      return;
+    }
+    *out = std::string(m->value.text);
+  }
+
   void require_array(std::string_view key, std::vector<std::uint64_t>* out) {
     const Member* m = require(key);
     if (m == nullptr) return;
@@ -261,6 +271,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kShuffle: return "shuffle";
     case EventKind::kOverload: return "overload";
     case EventKind::kFault: return "fault";
+    case EventKind::kActivity: return "activity";
     case EventKind::kRound: return "round";
     case EventKind::kQsim: return "qsim";
     case EventKind::kRelearn: return "relearn";
@@ -329,6 +340,11 @@ bool parse_trace_line(std::string_view line, TraceEvent* out,
       fields.require_i64("pm", &parsed.fault.pm);
       fields.require_i64("kind", &parsed.fault.code);
       fields.require_double("value", &parsed.fault.value);
+      break;
+    case EventKind::kActivity:
+      fields.require_i64("pm", &parsed.activity.pm);
+      fields.require_bool("awake", &parsed.activity.awake);
+      fields.require_string("reason", &parsed.activity.reason);
       break;
     case EventKind::kRound:
       fields.require_u64("active_pms", &parsed.summary.active_pms);

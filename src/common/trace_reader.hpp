@@ -27,13 +27,14 @@ enum class EventKind : std::uint8_t {
   kShuffle,
   kOverload,
   kFault,
+  kActivity,    ///< quiescence transition (event/quiescence engine)
   kRound,       ///< per-round aggregate summary
   kQsim,        ///< Q-table cosine-similarity probe
   kRelearn,     ///< GLAP re-learning trigger
   kShardBytes,  ///< opt-in per-shard byte breakdown (non-deterministic)
 };
 
-inline constexpr std::size_t kEventKindCount = 9;
+inline constexpr std::size_t kEventKindCount = 10;
 
 /// The JSONL "ev" value for a kind ("migration", "round", ...).
 [[nodiscard]] const char* event_kind_name(EventKind k);
@@ -74,6 +75,11 @@ struct TraceEvent {
     std::int64_t code = 0;  ///< rendered as "kind" on the wire
     double value = 0.0;
   } fault;
+  struct Activity {
+    std::int64_t pm = 0;
+    bool awake = false;  ///< false = parked (quiesced), true = re-activated
+    std::string reason;  ///< sim::WakeReason name ("converged", "gossip", ...)
+  } activity;
   struct RoundSummary {
     std::uint64_t active_pms = 0;
     std::uint64_t overloaded_pms = 0;

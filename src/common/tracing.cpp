@@ -14,6 +14,20 @@ const char* kind_name(Kind k) {
     case Kind::kShuffle: return "shuffle";
     case Kind::kOverload: return "overload";
     case Kind::kFault: return "fault";
+    case Kind::kActivity: return "activity";
+  }
+  return "?";
+}
+
+const char* activity_reason_name(std::int64_t code) {
+  switch (code) {
+    case 0: return "converged";
+    case 1: return "gossip";
+    case 2: return "demand";
+    case 3: return "migration";
+    case 4: return "status";
+    case 5: return "schedule";
+    case 6: return "relearn";
   }
   return "?";
 }
@@ -39,6 +53,10 @@ void TraceLog::render(const Event& e) {
     case Kind::kFault:
       out_ << ",\"pm\":" << e.a << ",\"kind\":" << e.b
            << ",\"value\":" << json_double(e.x);
+      break;
+    case Kind::kActivity:
+      out_ << ",\"pm\":" << e.a << ",\"awake\":" << (e.b ? "true" : "false")
+           << ",\"reason\":\"" << activity_reason_name(e.c) << '"';
       break;
   }
   out_ << "}\n";

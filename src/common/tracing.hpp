@@ -34,9 +34,16 @@ enum class Kind : std::uint8_t {
                  // injection (crash-stop, message loss, partition); no
                  // current emit site, but the wire format is fixed now so
                  // fault traces parse with today's trace_reader
+  kActivity,     // a=pm, b=awake(0/1), c=reason code — quiescence
+                 // transition under the event/quiescence engine
+                 // (DESIGN.md §12); reason codes mirror sim::WakeReason
 };
 
 [[nodiscard]] const char* kind_name(Kind k);
+
+/// Reason string for "activity" events; codes mirror sim::WakeReason in
+/// declaration order (tests/common/test_tracing.cpp pins the mapping).
+[[nodiscard]] const char* activity_reason_name(std::int64_t code);
 
 /// JSONL trace sink over an externally owned stream.
 class TraceLog {

@@ -25,9 +25,43 @@ struct RewardParams {
   double in_overload = -300.0;  ///< r_O for IN (≪ 0)
 };
 
+/// Quiescence: a config-level semantic, not an engine-mode toggle. When
+/// enabled, a PM whose protocols unanimously report convergence is parked
+/// and skipped until a wake event (incoming gossip write, demand drift
+/// past `demand_epsilon`, migration arrival/departure, power transition,
+/// relearn trigger) re-activates it. The serial and event engines apply
+/// the policy identically, so at a fixed config every engine mode still
+/// produces field-identical results; *enabling* it changes the simulated
+/// trajectory — that skipped work is exactly the scalability payoff.
+///
+/// Lives in core (not harness) because the convergence vote is GLAP's:
+/// the consolidation component parks on Q-table similarity, the learning
+/// component on reaching its idle phase. Baseline protocols never vote to
+/// park; overlays always do.
+struct QuiescenceConfig {
+  bool enabled = false;
+  /// Partner-table cosine similarity at or above which the consolidation
+  /// component counts its Q-tables as converged.
+  double similarity_threshold = 0.999;
+  /// Consecutive migration-free consolidation exchanges before the
+  /// component votes to park (0 = never vote).
+  sim::Round idle_rounds = 8;
+  /// |Δ demand fraction| (either resource, vs the last-notified
+  /// reference) beyond which a hosted VM's drift re-activates its PM.
+  double demand_epsilon = 0.05;
+  /// Optional heartbeat: re-wake every parked PM after this many rounds
+  /// (0 = no heartbeat; migrations/demand/gossip still wake).
+  sim::Round recheck_rounds = 0;
+};
+
 struct GlapConfig {
   qlearn::QLearningParams q{.alpha = 0.5, .gamma = 0.8};
   RewardParams rewards;
+
+  /// Engine-level quiescence policy (see QuiescenceConfig). The harness
+  /// reads enabled/demand_epsilon/recheck_rounds; the consolidation
+  /// component reads similarity_threshold/idle_rounds for its vote.
+  QuiescenceConfig quiescence;
 
   /// Learning phase: only PMs with average utilization at or below this
   /// run local training (the evaluation uses PMs with ≥50% free CPU).

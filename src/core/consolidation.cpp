@@ -33,13 +33,12 @@ sim::Engine::ProtocolSlot GlapConsolidationProtocol::install(
   GLAP_REQUIRE(engine.node_count() == dc.pm_count(),
                "engine nodes must map 1:1 onto data-center PMs");
   Rng master(hash_combine(seed, hash_tag("glap-consolidation")));
-  std::vector<std::unique_ptr<GlapConsolidationProtocol>> instances;
-  instances.reserve(engine.node_count());
-  for (std::size_t i = 0; i < engine.node_count(); ++i)
-    instances.push_back(std::make_unique<GlapConsolidationProtocol>(
-        config, dc, overlay_slot, learning_slot, topology,
-        master.split(i)));
-  return engine.add_protocol_slot(std::move(instances));
+  return engine.add_protocol_pool<GlapConsolidationProtocol>(
+      [&](sim::NodeId i) {
+        return GlapConsolidationProtocol(config, dc, overlay_slot,
+                                         learning_slot, topology,
+                                         master.split(i));
+      });
 }
 
 std::optional<sim::NodeId> GlapConsolidationProtocol::sample_peer(
@@ -109,7 +108,12 @@ void GlapConsolidationProtocol::execute(sim::Engine& engine, sim::NodeId self,
     return;
 
   const auto peer = sample_peer(engine, self);
-  if (!peer) return;
+  if (!peer) {
+    // No active partner: an interaction-free round still counts toward
+    // the calm streak (a drained neighborhood is the converged state).
+    ++calm_rounds_;
+    return;
+  }
 
   if (!telemetry_resolved_) {
     telemetry_resolved_ = true;
@@ -127,22 +131,42 @@ void GlapConsolidationProtocol::execute(sim::Engine& engine, sim::NodeId self,
   ++stats_.exchanges;
   if (ctr_exchanges_ != nullptr) ctr_exchanges_->inc();
 
-  update_state(engine, static_cast<cloud::PmId>(self),
-               static_cast<cloud::PmId>(*peer));
+  const std::size_t moved = update_state(
+      engine, static_cast<cloud::PmId>(self), static_cast<cloud::PmId>(*peer));
+  if (moved > 0) {
+    calm_rounds_ = 0;
+    return;
+  }
+  ++calm_rounds_;
+  const QuiescenceConfig& quiesce = config_.quiescence;
+  if (quiesce.idle_rounds > 0 && calm_rounds_ >= quiesce.idle_rounds) {
+    // Candidate to park: measure convergence against this exchange's
+    // partner. Deferring the cosine scan to the calm tail keeps the
+    // O(|table|) cost off every non-candidate round.
+    auto& mine = engine.protocol_at<GossipLearningProtocol>(learning_slot_,
+                                                            self);
+    auto& theirs = engine.protocol_at<GossipLearningProtocol>(learning_slot_,
+                                                              *peer);
+    last_similarity_ = cosine_similarity(mine.tables(), theirs.tables());
+  }
 }
 
-void GlapConsolidationProtocol::update_state(sim::Engine& engine,
-                                             cloud::PmId p, cloud::PmId q) {
+bool GlapConsolidationProtocol::can_quiesce(const sim::Engine& /*engine*/,
+                                            sim::NodeId /*self*/) const {
+  const QuiescenceConfig& quiesce = config_.quiescence;
+  if (quiesce.idle_rounds == 0) return false;
+  if (cycles_ <= config_.consolidation_start_round) return false;
+  return calm_rounds_ >= quiesce.idle_rounds &&
+         last_similarity_ >= quiesce.similarity_threshold;
+}
+
+std::size_t GlapConsolidationProtocol::update_state(sim::Engine& engine,
+                                                    cloud::PmId p,
+                                                    cloud::PmId q) {
   // Overload relief takes priority (lines 12-13); since the interaction is
   // push-pull, an overloaded passive party sheds symmetrically.
-  if (dc_.overloaded(p)) {
-    migrate_loop(engine, p, q, Mode::kShedOverload);
-    return;
-  }
-  if (dc_.overloaded(q)) {
-    migrate_loop(engine, q, p, Mode::kShedOverload);
-    return;
-  }
+  if (dc_.overloaded(p)) return migrate_loop(engine, p, q, Mode::kShedOverload);
+  if (dc_.overloaded(q)) return migrate_loop(engine, q, p, Mode::kShedOverload);
 
   // Otherwise the less-utilized PM drains toward switch-off (lines 14-16).
   // Rack-aware variant: across racks, the PM of the *emptier rack* drains
@@ -159,7 +183,8 @@ void GlapConsolidationProtocol::update_state(sim::Engine& engine,
   }
   const cloud::PmId sender = up <= uq ? p : q;
   const cloud::PmId recipient = up <= uq ? q : p;
-  migrate_loop(engine, sender, recipient, Mode::kDrainToSleep);
+  const std::size_t moved =
+      migrate_loop(engine, sender, recipient, Mode::kDrainToSleep);
 
   if (dc_.pm(sender).empty()) {
     dc_.set_power(sender, cloud::PmPower::kSleep);
@@ -168,22 +193,24 @@ void GlapConsolidationProtocol::update_state(sim::Engine& engine,
     ++stats_.switch_offs;
     if (ctr_switch_offs_ != nullptr) ctr_switch_offs_->inc();
   }
+  return moved;
 }
 
 std::optional<std::pair<cloud::VmId, qlearn::Action>>
 GlapConsolidationProtocol::find_vm(const qlearn::QTable& out_table,
                                    qlearn::State sender_state,
-                                   cloud::PmId sender) const {
+                                   cloud::PmId sender) {
   const auto& vms = dc_.pm(sender).vms();
   if (vms.empty()) return std::nullopt;
 
   // π_out: the available action with the greatest Q_out(s, ·).
-  std::vector<qlearn::Action> actions;
+  std::vector<qlearn::Action>& actions = scratch_actions_;
+  actions.clear();
   actions.reserve(vms.size());
   for (cloud::VmId v : vms) {
-    const cloud::Vm& vm = dc_.vm(v);
-    const Resources frac = config_.use_average_state ? vm.average_fraction()
-                                                     : vm.demand_fraction();
+    const Resources frac = config_.use_average_state
+                               ? dc_.vm_average_fraction(v)
+                               : dc_.vm_demand_fraction(v);
     actions.push_back(qlearn::classify(frac.cpu, frac.mem));
   }
   const auto best = out_table.best_action(sender_state, actions);
@@ -195,7 +222,7 @@ GlapConsolidationProtocol::find_vm(const qlearn::QTable& out_table,
   double chosen_mem = 0.0;
   for (std::size_t i = 0; i < vms.size(); ++i) {
     if (!(actions[i] == *best)) continue;
-    const double mem = dc_.vm(vms[i]).current_usage().mem;
+    const double mem = dc_.vm_current_usage(vms[i]).mem;
     if (!chosen || mem < chosen_mem) {
       chosen = vms[i];
       chosen_mem = mem;

@@ -56,15 +56,31 @@ class GlapConsolidationProtocol final : public sim::Protocol {
   void execute(sim::Engine& engine, sim::NodeId self,
                const sim::PeerSet& peers) override;
 
+  /// Quiescence vote: consolidation has started, the last
+  /// `quiescence.idle_rounds` exchanges moved no VM, and the most recent
+  /// partner-table cosine similarity reached
+  /// `quiescence.similarity_threshold`. The learning component's own
+  /// vote covers the "tables unified" precondition, so it is not
+  /// re-checked here.
+  [[nodiscard]] bool can_quiesce(const sim::Engine& engine,
+                                 sim::NodeId self) const override;
+
   [[nodiscard]] const ConsolidationStats& stats() const noexcept {
     return stats_;
+  }
+
+  /// Last partner-table cosine similarity measured by the quiescence
+  /// candidate check (-2 until one has been computed). Test hook.
+  [[nodiscard]] double last_partner_similarity() const noexcept {
+    return last_similarity_;
   }
 
  private:
   enum class Mode { kShedOverload, kDrainToSleep };
 
-  /// UPDATESTATE: decides roles and runs the MIGRATE loop.
-  void update_state(sim::Engine& engine, cloud::PmId p, cloud::PmId q);
+  /// UPDATESTATE: decides roles and runs the MIGRATE loop. Returns the
+  /// number of VMs moved (the quiescence calm counter feeds on it).
+  std::size_t update_state(sim::Engine& engine, cloud::PmId p, cloud::PmId q);
 
   /// MIGRATE loop from `sender` to `recipient`; returns the number of VMs
   /// moved. Stops on π_in rejection, missing VM, or lack of capacity.
@@ -72,10 +88,11 @@ class GlapConsolidationProtocol final : public sim::Protocol {
                            cloud::PmId recipient, Mode mode);
 
   /// π_out + least-migration-cost tie-break. Returns the chosen VM and its
-  /// action, or nullopt when the sender hosts no VMs.
+  /// action, or nullopt when the sender hosts no VMs. Non-const: fills the
+  /// scratch_actions_ round-loop buffer.
   [[nodiscard]] std::optional<std::pair<cloud::VmId, qlearn::Action>> find_vm(
       const qlearn::QTable& out_table, qlearn::State sender_state,
-      cloud::PmId sender) const;
+      cloud::PmId sender);
 
   [[nodiscard]] qlearn::State pm_state(cloud::PmId pm) const;
 
@@ -92,6 +109,13 @@ class GlapConsolidationProtocol final : public sim::Protocol {
   Rng rng_;
   ConsolidationStats stats_;
   sim::Round cycles_ = 0;
+  // Quiescence candidate state: consecutive migration-free exchanges and
+  // the similarity measured once the calm streak nears the vote
+  // threshold (so non-candidates never pay the cosine scan).
+  sim::Round calm_rounds_ = 0;
+  double last_similarity_ = -2.0;
+  // Round-loop scratch for find_vm's per-VM action levels.
+  std::vector<qlearn::Action> scratch_actions_;
   // Registry mirrors of stats_ (shared across instances; null = disabled).
   bool telemetry_resolved_ = false;
   metrics::Counter* ctr_exchanges_ = nullptr;

@@ -40,14 +40,13 @@ sim::Engine::ProtocolSlot GossipLearningProtocol::install(
   GLAP_REQUIRE(engine.node_count() == dc.pm_count(),
                "engine nodes must map 1:1 onto data-center PMs");
   Rng master(hash_combine(seed, hash_tag("gossip-learning")));
-  std::vector<std::unique_ptr<GossipLearningProtocol>> instances;
-  instances.reserve(engine.node_count());
-  for (std::size_t i = 0; i < engine.node_count(); ++i)
-    instances.push_back(std::make_unique<GossipLearningProtocol>(
-        config, dc, overlay_slot,
-        dc.pm(static_cast<cloud::PmId>(i)).spec().capacity(),
-        master.split(i)));
-  const auto slot = engine.add_protocol_slot(std::move(instances));
+  const auto slot = engine.add_protocol_pool<GossipLearningProtocol>(
+      [&](sim::NodeId i) {
+        return GossipLearningProtocol(
+            config, dc, overlay_slot,
+            dc.pm(static_cast<cloud::PmId>(i)).spec().capacity(),
+            master.split(i));
+      });
   for (std::size_t i = 0; i < engine.node_count(); ++i)
     GossipLearningInstaller::set_slot(
         engine.protocol_at<GossipLearningProtocol>(
@@ -117,19 +116,19 @@ void GossipLearningProtocol::learning_cycle(sim::Engine& engine,
 
   auto& sampler = engine.protocol_at<overlay::NeighborProvider>(
       overlay_slot_, self);
-  std::vector<VmProfile> pool =
-      profiles_of(dc_, static_cast<cloud::PmId>(self));
+  profiles_of(dc_, static_cast<cloud::PmId>(self), &scratch_pool_);
   if (const auto peer = sampler.sample_active_peer(engine, self)) {
     GLAP_ASSERT(self_slot_known_, "learning protocol used before install()");
     auto& remote = engine.protocol_at<GossipLearningProtocol>(self_slot_,
                                                               *peer);
-    auto remote_profiles = remote.shared_profiles(*peer);
+    remote.shared_profiles(*peer, &scratch_remote_);
     engine.network().count_message(*peer, self,
-                                   remote_profiles.size() * kProfileBytes);
-    pool.insert(pool.end(), remote_profiles.begin(), remote_profiles.end());
+                                   scratch_remote_.size() * kProfileBytes);
+    scratch_pool_.insert(scratch_pool_.end(), scratch_remote_.begin(),
+                         scratch_remote_.end());
   }
-  pool = trainer_.duplicate_if_required(std::move(pool));
-  trainer_.train_round(pool, tables_);
+  trainer_.grow_pool(scratch_pool_);
+  trainer_.train_round(scratch_pool_, tables_);
   if (ctr_train_ != nullptr) ctr_train_->inc();
 }
 
@@ -155,6 +154,9 @@ void GossipLearningProtocol::aggregation_cycle(sim::Engine& engine,
   tables_.merge_average(remote.tables_);
   remote.tables_ = tables_;
   if (ctr_merge_ != nullptr) ctr_merge_->inc();
+  // The push-pull rewrote the peer's tables: that is incoming gossip for
+  // a parked peer, so re-activate it (no-op unless quiescent).
+  engine.wake(*peer, sim::WakeReason::kGossip);
 }
 
 }  // namespace glap::core

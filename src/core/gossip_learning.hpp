@@ -41,6 +41,13 @@ class GossipLearningProtocol final : public sim::Protocol {
   void execute(sim::Engine& engine, sim::NodeId self,
                const sim::PeerSet& peers) override;
 
+  /// Quiescence vote: done once both phases have run. A relearn
+  /// retrigger resets the phase; the harness wakes every node then.
+  [[nodiscard]] bool can_quiesce(const sim::Engine& /*engine*/,
+                                 sim::NodeId /*self*/) const override {
+    return phase() == Phase::kIdle;
+  }
+
   [[nodiscard]] Phase phase() const noexcept;
 
   /// Phase the component will report after this round's execute() has
@@ -65,6 +72,11 @@ class GossipLearningProtocol final : public sim::Protocol {
     return profiles_of(dc_, static_cast<cloud::PmId>(self));
   }
 
+  /// Allocation-free variant: clears and fills `*out` (hot path).
+  void shared_profiles(sim::NodeId self, std::vector<VmProfile>* out) const {
+    profiles_of(dc_, static_cast<cloud::PmId>(self), out);
+  }
+
  private:
   void learning_cycle(sim::Engine& engine, sim::NodeId self);
   void aggregation_cycle(sim::Engine& engine, sim::NodeId self);
@@ -79,6 +91,10 @@ class GossipLearningProtocol final : public sim::Protocol {
   metrics::Counter* ctr_merge_ = nullptr;  ///< learning.merges
   LocalTrainer trainer_;
   QTablePair tables_;
+  // Round-loop scratch: learning_cycle used to allocate the profile pool
+  // and the remote snapshot every round; capacity persists across rounds.
+  std::vector<VmProfile> scratch_pool_;
+  std::vector<VmProfile> scratch_remote_;
   sim::Round cycles_ = 0;
   sim::Round learning_rounds_;
   sim::Round aggregation_rounds_;

@@ -18,9 +18,8 @@ LocalTrainer::LocalTrainer(const GlapConfig& config, Resources pm_capacity,
                "train_iterations_per_round must be positive");
 }
 
-std::vector<VmProfile> LocalTrainer::duplicate_if_required(
-    std::vector<VmProfile> pool) const {
-  if (pool.empty()) return pool;
+void LocalTrainer::grow_pool(std::vector<VmProfile>& pool) const {
+  if (pool.empty()) return;
   double total_avg_cpu = 0.0;
   for (const auto& p : pool) total_avg_cpu += p.average_usage.cpu;
   const double target = config_.duplicate_pool_pm_multiple * pm_capacity_.cpu;
@@ -28,32 +27,33 @@ std::vector<VmProfile> LocalTrainer::duplicate_if_required(
   std::size_t cursor = 0;
   // Hard cap keeps adversarial all-idle pools from ballooning the pool.
   const std::size_t max_size = originals * 16;
+  pool.reserve(max_size);
   while (total_avg_cpu < target && pool.size() < max_size) {
     pool.push_back(pool[cursor]);
     total_avg_cpu += pool[cursor].average_usage.cpu;
     cursor = (cursor + 1) % originals;
   }
-  return pool;
 }
 
-std::vector<std::size_t> LocalTrainer::draw_subset(
-    const std::vector<VmProfile>& pool) {
+void LocalTrainer::draw_subset(const std::vector<VmProfile>& pool,
+                               std::vector<std::size_t>& out) {
   // Aim the subset's aggregate *average* CPU utilization at a random
   // target so training visits the whole state spectrum, including
   // overloaded configurations (target may exceed 1).
   const double target_util = rng_.uniform(0.05, 1.1);
-  std::vector<std::size_t> order(pool.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  rng_.shuffle(order);
+  scratch_order_.resize(pool.size());
+  for (std::size_t i = 0; i < scratch_order_.size(); ++i)
+    scratch_order_[i] = i;
+  rng_.shuffle(scratch_order_);
 
-  std::vector<std::size_t> subset;
+  out.clear();
+  out.reserve(pool.size());
   double cpu_sum = 0.0;
-  for (std::size_t idx : order) {
-    subset.push_back(idx);
+  for (std::size_t idx : scratch_order_) {
+    out.push_back(idx);
     cpu_sum += pool[idx].average_usage.cpu;
     if (cpu_sum / pm_capacity_.cpu >= target_util) break;
   }
-  return subset;
 }
 
 qlearn::State LocalTrainer::subset_state(
@@ -77,8 +77,10 @@ void LocalTrainer::train_round(const std::vector<VmProfile>& pool,
 
   for (std::size_t iter = 0; iter < config_.train_iterations_per_round;
        ++iter) {
-    const auto sender = draw_subset(pool);
-    const auto target = draw_subset(pool);
+    draw_subset(pool, scratch_sender_);
+    draw_subset(pool, scratch_target_);
+    const auto& sender = scratch_sender_;
+    const auto& target = scratch_target_;
     if (sender.empty()) continue;
 
     // The migrating VM: a random member of the sender subset.

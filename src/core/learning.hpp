@@ -25,11 +25,17 @@ class LocalTrainer {
  public:
   LocalTrainer(const GlapConfig& config, Resources pm_capacity, Rng rng);
 
-  /// Duplicates `pool` entries (round-robin) until the pool's aggregate
-  /// average CPU could fill `duplicate_pool_pm_multiple` PMs; no-op when
-  /// the pool is already big enough or empty.
+  /// Duplicates `pool` entries in place (round-robin) until the pool's
+  /// aggregate average CPU could fill `duplicate_pool_pm_multiple` PMs;
+  /// no-op when the pool is already big enough or empty.
+  void grow_pool(std::vector<VmProfile>& pool) const;
+
+  /// Value-returning convenience wrapper around grow_pool.
   [[nodiscard]] std::vector<VmProfile> duplicate_if_required(
-      std::vector<VmProfile> pool) const;
+      std::vector<VmProfile> pool) const {
+    grow_pool(pool);
+    return pool;
+  }
 
   /// One learning round: k simulated consolidation steps over `pool`,
   /// updating `tables` in place. Pools smaller than 2 profiles are a no-op
@@ -41,10 +47,11 @@ class LocalTrainer {
   }
 
  private:
-  /// Draws a random subset of pool indices whose aggregate average CPU
-  /// utilization approaches a uniformly drawn target in [0.05, 1.1].
-  [[nodiscard]] std::vector<std::size_t> draw_subset(
-      const std::vector<VmProfile>& pool);
+  /// Draws into `out` a random subset of pool indices whose aggregate
+  /// average CPU utilization approaches a uniformly drawn target in
+  /// [0.05, 1.1].
+  void draw_subset(const std::vector<VmProfile>& pool,
+                   std::vector<std::size_t>& out);
 
   [[nodiscard]] qlearn::State subset_state(
       const std::vector<VmProfile>& pool,
@@ -55,6 +62,11 @@ class LocalTrainer {
   Resources pm_capacity_;
   RewardSystem rewards_;
   Rng rng_;
+  // Round-loop scratch: train_round used to allocate four vectors per
+  // simulated migration; these keep their capacity across iterations.
+  std::vector<std::size_t> scratch_order_;
+  std::vector<std::size_t> scratch_sender_;
+  std::vector<std::size_t> scratch_target_;
 };
 
 }  // namespace glap::core

@@ -27,17 +27,24 @@ struct VmProfile {
   }
 };
 
-/// Extracts the profiles of every VM currently hosted on `pm`.
+/// Extracts the profiles of every VM currently hosted on `pm` into `out`
+/// (cleared first). The out-param form lets round-loop callers reuse one
+/// buffer instead of allocating a vector per interaction.
+inline void profiles_of(const cloud::DataCenter& dc, cloud::PmId pm,
+                        std::vector<VmProfile>* out) {
+  out->clear();
+  const auto& vms = dc.pm(pm).vms();
+  out->reserve(vms.size());
+  for (cloud::VmId v : vms)
+    out->push_back({dc.vm_current_usage(v), dc.vm_average_usage(v),
+                    dc.vm(v).spec().capacity()});
+}
+
+/// Convenience form for cold paths and tests.
 [[nodiscard]] inline std::vector<VmProfile> profiles_of(
     const cloud::DataCenter& dc, cloud::PmId pm) {
   std::vector<VmProfile> out;
-  const auto& vms = dc.pm(pm).vms();
-  out.reserve(vms.size());
-  for (cloud::VmId v : vms) {
-    const cloud::Vm& vm = dc.vm(v);
-    out.push_back({vm.current_usage(), vm.average_usage(),
-                   vm.spec().capacity()});
-  }
+  profiles_of(dc, pm, &out);
   return out;
 }
 

@@ -164,6 +164,13 @@ struct ExperimentConfig {
   /// are bit-identical to serial for any thread count (see DESIGN.md).
   std::size_t engine_threads = 1;
 
+  /// Event-driven scheduler (DESIGN.md §12): each round only the runnable
+  /// set (active, non-quiescent nodes) is keyed and executed. Results are
+  /// field-identical to the serial engine at the same configuration — the
+  /// payoff comes from combining it with glap.quiescence, which shrinks
+  /// the runnable set as nodes converge. Requires engine_threads == 1.
+  bool event_engine = false;
+
   /// Rack topology: 0 disables (no racks, no switch accounting). When
   /// set, PMs are grouped into racks of this size, active top-of-rack
   /// switches are metered, and GLAP may use glap.rack_affinity.

@@ -22,6 +22,8 @@ struct RoundSample {
   double migration_energy_j = 0.0;    ///< cumulative Eq.-3 energy
   std::uint32_t active_racks = 0;     ///< racks with a live switch (0 when
                                       ///< topology is disabled)
+  std::uint32_t quiescent_pms = 0;    ///< nodes parked by can_quiesce votes
+                                      ///< (0 unless glap.quiescence.enabled)
 };
 
 struct RunResult {
@@ -50,6 +52,13 @@ struct RunResult {
   [[nodiscard]] double mean_active_racks() const {
     RunningStats st;
     for (const auto& s : rounds) st.add(s.active_racks);
+    return st.mean();
+  }
+
+  /// Mean parked-node count over the evaluation window (quiescence runs).
+  [[nodiscard]] double mean_quiescent_pms() const {
+    RunningStats st;
+    for (const auto& s : rounds) st.add(s.quiescent_pms);
     return st.mean();
   }
 

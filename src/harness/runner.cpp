@@ -112,6 +112,37 @@ RunResult run_experiment(const ExperimentConfig& config) {
     // replayed in serial order at the quiescent point after each step.
     dc.set_deferred_accounting(true);
   }
+  if (config.event_engine) {
+    GLAP_REQUIRE(config.engine_threads == 1,
+                 "event_engine requires engine_threads == 1");
+    engine.enable_event_scheduler();
+  }
+  const core::QuiescenceConfig& quiesce = config.glap.quiescence;
+  if (quiesce.enabled) {
+    GLAP_REQUIRE(config.engine_threads == 1,
+                 "quiescence requires engine_threads == 1");
+    engine.enable_quiescence(quiesce.recheck_rounds);
+    // Bridge data-center events onto parked nodes. The mapping is fixed:
+    // kPower transitions already flow through Engine::set_status (which
+    // un-parks), so the hook's kPower arm is only a safety net.
+    dc.set_wake_hook(
+        [&engine](cloud::PmId pm, cloud::DataCenter::WakeEvent event) {
+          sim::WakeReason reason = sim::WakeReason::kStatus;
+          switch (event) {
+            case cloud::DataCenter::WakeEvent::kDemand:
+              reason = sim::WakeReason::kDemand;
+              break;
+            case cloud::DataCenter::WakeEvent::kMigration:
+              reason = sim::WakeReason::kMigration;
+              break;
+            case cloud::DataCenter::WakeEvent::kPower:
+              reason = sim::WakeReason::kStatus;
+              break;
+          }
+          engine.wake(static_cast<sim::NodeId>(pm), reason);
+        },
+        quiesce.demand_epsilon);
+  }
 
   std::optional<cloud::RackTopology> topology;
   if (config.rack_size > 0)
@@ -242,19 +273,19 @@ RunResult run_experiment(const ExperimentConfig& config) {
     for (std::size_t attempt = 0; attempt < dc.pm_count(); ++attempt) {
       const auto p =
           static_cast<cloud::PmId>(churn_place_rng.bounded(dc.pm_count()));
-      if (!dc.pm(p).is_on() || !fits(p)) continue;
+      if (!dc.pm_on(p) || !fits(p)) continue;
       dc.place(vm, p);
       return true;
     }
     for (cloud::PmId p = 0; p < dc.pm_count(); ++p) {
-      if (!dc.pm(p).is_on() && dc.pm(p).empty()) {
+      if (!dc.pm_on(p) && dc.pm(p).empty()) {
         dc.set_power(p, cloud::PmPower::kOn);
         engine.set_status(static_cast<sim::NodeId>(p),
                           sim::NodeStatus::kActive);
         dc.place(vm, p);
         return true;
       }
-      if (dc.pm(p).is_on() && fits(p)) {
+      if (dc.pm_on(p) && fits(p)) {
         dc.place(vm, p);
         return true;
       }
@@ -291,6 +322,8 @@ RunResult run_experiment(const ExperimentConfig& config) {
       engine.protocol_at<core::GossipLearningProtocol>(glap_slots->learning, n)
           .retrigger(config.churn.relearn_learning_rounds,
                      config.churn.relearn_aggregation_rounds);
+    // A fleet-wide phase reset invalidates every park decision.
+    engine.wake_all(sim::WakeReason::kRelearn);
     ++result.relearn_triggers;
     if (trace != nullptr) trace->relearn(engine.current_round());
     churn_events_since_relearn = 0;
@@ -363,6 +396,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
         static_cast<std::uint32_t>(dc.migrations_this_round());
     sample.migrations_cum = dc.total_migrations();
     sample.migration_energy_j = dc.migration_energy_joules();
+    sample.quiescent_pms = static_cast<std::uint32_t>(engine.quiescent_count());
     if (topology) {
       sample.active_racks =
           static_cast<std::uint32_t>(topology->active_racks(dc));
@@ -387,7 +421,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
                            sample.migrations_round, messages - prev_messages,
                            bytes - prev_bytes);
       for (cloud::PmId p = 0; p < dc.pm_count(); ++p)
-        if (dc.pm(p).is_on() && dc.overloaded(p))
+        if (dc.pm_on(p) && dc.overloaded(p))
           trace->overload(round, static_cast<std::int64_t>(p),
                           dc.current_utilization(p).cpu);
       if (obs.trace_shard_detail)
@@ -405,7 +439,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
   // errors (e.g. sleeping a PM another thread of control just filled).
   for (cloud::VmId v = 0; v < dc.vm_count(); ++v)
     if (dc.is_placed(v))
-      GLAP_ASSERT(dc.pm(dc.host_of(v)).is_on(),
+      GLAP_ASSERT(dc.pm_on(dc.host_of(v)),
                   "vm stranded on a sleeping pm after the run");
 
   // --- Run-level aggregates ------------------------------------------------

@@ -32,18 +32,18 @@ sim::Engine::ProtocolSlot CyclonProtocol::install(sim::Engine& engine,
                                                   std::uint64_t seed) {
   const std::size_t n = engine.node_count();
   Rng master(hash_combine(seed, hash_tag("cyclon")));
-  std::vector<std::unique_ptr<CyclonProtocol>> instances;
-  instances.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    instances.push_back(
-        std::make_unique<CyclonProtocol>(config, master.split(i)));
+  const auto slot = engine.add_protocol_pool<CyclonProtocol>(
+      [&](sim::NodeId i) { return CyclonProtocol(config, master.split(i)); });
+  engine.add_protocol_view<CyclonProtocol, NeighborProvider>(slot);
 
   // Bootstrap each cache with random distinct peers (ring + random links
   // guarantees initial connectivity even for tiny caches).
   Rng boot(hash_combine(seed, hash_tag("cyclon-bootstrap")));
+  std::vector<sim::NodeId> neighbors;
   for (std::size_t i = 0; i < n; ++i) {
-    auto& proto = *instances[i];
-    std::vector<sim::NodeId> neighbors;
+    auto& proto = engine.protocol_at<CyclonProtocol>(
+        slot, static_cast<sim::NodeId>(i));
+    neighbors.clear();
     if (n > 1) {
       neighbors.push_back(static_cast<sim::NodeId>((i + 1) % n));
       while (neighbors.size() < std::min(config.cache_size, n - 1)) {
@@ -56,14 +56,8 @@ sim::Engine::ProtocolSlot CyclonProtocol::install(sim::Engine& engine,
       }
     }
     proto.bootstrap(static_cast<sim::NodeId>(i), neighbors);
+    CyclonInstaller::set_slot(proto, slot);
   }
-
-  const auto slot = engine.add_protocol_slot(std::move(instances));
-  engine.add_protocol_view<CyclonProtocol, NeighborProvider>(slot);
-  for (std::size_t i = 0; i < n; ++i)
-    CyclonInstaller::set_slot(engine.protocol_at<CyclonProtocol>(
-                                  slot, static_cast<sim::NodeId>(i)),
-                              slot);
   return slot;
 }
 

@@ -55,6 +55,14 @@ class CyclonProtocol final : public NeighborProvider {
   std::optional<sim::NodeId> sample_active_peer(sim::Engine& engine,
                                                 sim::NodeId self) override;
 
+  /// Quiescence vote: always yes. The membership layer only serves the
+  /// components above it; a parked node's cache simply stops refreshing,
+  /// and active nodes keep shuffling with the parked node's entries.
+  [[nodiscard]] bool can_quiesce(const sim::Engine& /*engine*/,
+                                 sim::NodeId /*self*/) const override {
+    return true;
+  }
+
   [[nodiscard]] std::vector<sim::NodeId> neighbor_view() const override;
 
   void append_peer_candidates(sim::PeerSet& out) const override;

@@ -29,16 +29,16 @@ sim::Engine::ProtocolSlot NewscastProtocol::install(sim::Engine& engine,
                                                     std::uint64_t seed) {
   const std::size_t n = engine.node_count();
   Rng master(hash_combine(seed, hash_tag("newscast")));
-  std::vector<std::unique_ptr<NewscastProtocol>> instances;
-  instances.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    instances.push_back(
-        std::make_unique<NewscastProtocol>(config, master.split(i)));
+  const auto slot = engine.add_protocol_pool<NewscastProtocol>(
+      [&](sim::NodeId i) { return NewscastProtocol(config, master.split(i)); });
+  engine.add_protocol_view<NewscastProtocol, NeighborProvider>(slot);
 
   Rng boot(hash_combine(seed, hash_tag("newscast-bootstrap")));
+  std::vector<sim::NodeId> peers;
   for (std::size_t i = 0; i < n; ++i) {
-    auto& proto = *instances[i];
-    std::vector<sim::NodeId> peers;
+    auto& proto = engine.protocol_at<NewscastProtocol>(
+        slot, static_cast<sim::NodeId>(i));
+    peers.clear();
     if (n > 1) {
       peers.push_back(static_cast<sim::NodeId>((i + 1) % n));
       while (peers.size() < std::min(config.cache_size, n - 1)) {
@@ -50,14 +50,8 @@ sim::Engine::ProtocolSlot NewscastProtocol::install(sim::Engine& engine,
       }
     }
     proto.bootstrap(static_cast<sim::NodeId>(i), peers);
+    NewscastInstaller::set_slot(proto, slot);
   }
-
-  const auto slot = engine.add_protocol_slot(std::move(instances));
-  engine.add_protocol_view<NewscastProtocol, NeighborProvider>(slot);
-  for (std::size_t i = 0; i < n; ++i)
-    NewscastInstaller::set_slot(engine.protocol_at<NewscastProtocol>(
-                                    slot, static_cast<sim::NodeId>(i)),
-                                slot);
   return slot;
 }
 

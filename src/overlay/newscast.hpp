@@ -48,6 +48,13 @@ class NewscastProtocol final : public NeighborProvider {
   std::optional<sim::NodeId> sample_active_peer(sim::Engine& engine,
                                                 sim::NodeId self) override;
 
+  /// Quiescence vote: always yes (same contract as CyclonProtocol — the
+  /// membership layer never keeps a converged node awake).
+  [[nodiscard]] bool can_quiesce(const sim::Engine& /*engine*/,
+                                 sim::NodeId /*self*/) const override {
+    return true;
+  }
+
   [[nodiscard]] std::vector<sim::NodeId> neighbor_view() const override;
 
   void append_peer_candidates(sim::PeerSet& out) const override;

@@ -9,27 +9,25 @@ sim::Engine::ProtocolSlot RandomGraphProtocol::install(
   GLAP_REQUIRE(config.degree > 0, "random graph degree must be positive");
   const std::size_t n = engine.node_count();
   Rng master(hash_combine(seed, hash_tag("random-graph")));
-  std::vector<std::unique_ptr<RandomGraphProtocol>> instances;
-  instances.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::vector<sim::NodeId> neighbors;
-    if (n > 1) {
-      // Ring edge for guaranteed connectivity + random chords.
-      neighbors.push_back(static_cast<sim::NodeId>((i + 1) % n));
-      const std::size_t target = std::min(config.degree, n - 1);
-      while (neighbors.size() < target) {
-        auto candidate = static_cast<sim::NodeId>(master.bounded(n));
-        if (candidate == i) continue;
-        if (std::find(neighbors.begin(), neighbors.end(), candidate) !=
-            neighbors.end())
-          continue;
-        neighbors.push_back(candidate);
-      }
-    }
-    instances.push_back(std::make_unique<RandomGraphProtocol>(
-        std::move(neighbors), master.split(i)));
-  }
-  const auto slot = engine.add_protocol_slot(std::move(instances));
+  const auto slot = engine.add_protocol_pool<RandomGraphProtocol>(
+      [&](sim::NodeId node) {
+        const auto i = static_cast<std::size_t>(node);
+        std::vector<sim::NodeId> neighbors;
+        if (n > 1) {
+          // Ring edge for guaranteed connectivity + random chords.
+          neighbors.push_back(static_cast<sim::NodeId>((i + 1) % n));
+          const std::size_t target = std::min(config.degree, n - 1);
+          while (neighbors.size() < target) {
+            auto candidate = static_cast<sim::NodeId>(master.bounded(n));
+            if (candidate == i) continue;
+            if (std::find(neighbors.begin(), neighbors.end(), candidate) !=
+                neighbors.end())
+              continue;
+            neighbors.push_back(candidate);
+          }
+        }
+        return RandomGraphProtocol(std::move(neighbors), master.split(i));
+      });
   engine.add_protocol_view<RandomGraphProtocol, NeighborProvider>(slot);
   return slot;
 }

@@ -1,9 +1,11 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
 
 #include "common/profiler.hpp"
+#include "common/tracing.hpp"
 
 namespace glap::sim {
 
@@ -22,6 +24,9 @@ constexpr std::size_t kMinWaveBatch = 64;
   return (static_cast<std::uint64_t>(stamp) << 32) |
          (0xFFFFFFFFu - static_cast<std::uint64_t>(rank));
 }
+
+/// in_list_round_ stamp that never equals a real round number.
+constexpr Round kNeverInList = static_cast<Round>(-1);
 
 }  // namespace
 
@@ -45,7 +50,18 @@ Engine::ProtocolSlot Engine::add_protocol_slot(
                "need exactly one protocol instance per node");
   for (const auto& p : instances)
     GLAP_REQUIRE(p != nullptr, "null protocol instance");
-  slots_.push_back(std::move(instances));
+  Slot slot;
+  slot.instances.reserve(instances.size());
+  for (const auto& p : instances) slot.instances.push_back(p.get());
+  slot.storage = std::make_shared<std::vector<std::unique_ptr<Protocol>>>(
+      std::move(instances));
+  return push_slot(std::move(slot));
+}
+
+Engine::ProtocolSlot Engine::push_slot(Slot slot) {
+  GLAP_REQUIRE(slot.instances.size() == status_.size(),
+               "need exactly one protocol instance per node");
+  slots_.push_back(std::move(slot));
   views_.emplace_back();
   return slots_.size() - 1;
 }
@@ -83,6 +99,9 @@ void Engine::add_observer(Observer* observer) {
 
 void Engine::enable_parallel_execution(std::size_t threads) {
   GLAP_REQUIRE(threads >= 1, "parallel execution needs at least one thread");
+  GLAP_REQUIRE(!event_mode_ && !quiescence_,
+               "wave-parallel execution excludes the event scheduler and "
+               "quiescence (single-driver semantics; see DESIGN.md §12)");
   threads_ = std::min<std::size_t>(threads, exec::kShardCount - 1);
   parallel_ = true;
   peer_sets_.resize(node_count());
@@ -92,26 +111,106 @@ void Engine::enable_parallel_execution(std::size_t threads) {
     pool_ = std::make_unique<ThreadPool>(threads_);
 }
 
+void Engine::enable_event_scheduler() {
+  GLAP_REQUIRE(!parallel_,
+               "event scheduler excludes wave-parallel execution");
+  event_mode_ = true;
+  run_list_.reserve(node_count());
+  in_list_round_.assign(node_count(), kNeverInList);
+  if (quiescent_.empty()) quiescent_.assign(node_count(), 0);
+}
+
+void Engine::enable_quiescence(Round recheck_rounds) {
+  GLAP_REQUIRE(!parallel_,
+               "quiescence excludes wave-parallel execution");
+  quiescence_ = true;
+  recheck_rounds_ = recheck_rounds;
+  if (quiescent_.empty()) quiescent_.assign(node_count(), 0);
+}
+
 void Engine::set_status(NodeId node, NodeStatus status) {
   GLAP_REQUIRE(node < status_.size(), "node id out of range");
   const NodeStatus old = status_[node];
   if (old == status) return;
   GLAP_REQUIRE(old != NodeStatus::kFailed, "failed nodes cannot transition");
+  // A parked node leaving the active state is un-parked first, so the
+  // quiescent set only ever contains active nodes and the activity trace
+  // alternates cleanly per node.
+  if (status != NodeStatus::kActive) clear_quiescent(node, WakeReason::kStatus);
   status_[node] = status;
   if (old == NodeStatus::kActive)
     active_count_.fetch_sub(1, std::memory_order_relaxed);
-  if (status == NodeStatus::kActive)
+  if (status == NodeStatus::kActive) {
     active_count_.fetch_add(1, std::memory_order_relaxed);
+    // A node switched back on mid-round joins the remaining schedule iff
+    // its rank has not passed — the serial engine's visit rule.
+    if (event_mode_ && in_round_) insert_runnable(node);
+  }
   for (auto& slot : slots_)
-    slot[node]->on_status_change(*this, node, status);
+    slot.instances[node]->on_status_change(*this, node, status);
+}
+
+void Engine::trace_activity(NodeId node, bool awake, WakeReason reason) {
+  if (!quiescence_ || trace_ == nullptr) return;
+  trace_->emit(trace::Kind::kActivity, node, awake ? 1 : 0,
+               static_cast<std::int64_t>(reason));
+}
+
+bool Engine::clear_quiescent(NodeId node, WakeReason reason) {
+  if (quiescent_.empty() || quiescent_[node] == 0) return false;
+  quiescent_[node] = 0;
+  --quiescent_count_;
+  trace_activity(node, /*awake=*/true, reason);
+  return true;
+}
+
+void Engine::wake(NodeId node, WakeReason reason) {
+  GLAP_REQUIRE(node < status_.size(), "node id out of range");
+  if (!clear_quiescent(node, reason)) return;
+  if (event_mode_ && in_round_) insert_runnable(node);
+}
+
+void Engine::wake_all(WakeReason reason) {
+  if (quiescent_count_ == 0) return;
+  for (std::size_t node = 0; node < status_.size(); ++node)
+    wake(static_cast<NodeId>(node), reason);
+}
+
+void Engine::schedule_wake(NodeId node, Round round, WakeReason reason) {
+  GLAP_REQUIRE(node < status_.size(), "node id out of range");
+  wake_queue_.emplace_back(round, std::make_pair(node, reason));
+  std::push_heap(wake_queue_.begin(), wake_queue_.end(),
+                 std::greater<>());
+}
+
+void Engine::drain_wake_queue() {
+  while (!wake_queue_.empty() && wake_queue_.front().first <= round_) {
+    std::pop_heap(wake_queue_.begin(), wake_queue_.end(), std::greater<>());
+    const auto [node, reason] = wake_queue_.back().second;
+    wake_queue_.pop_back();
+    wake(node, reason);
+  }
+}
+
+bool Engine::poll_quiesce(NodeId node) {
+  if (!quiescence_ || quiescent_[node] != 0) return false;
+  if (status_[node] != NodeStatus::kActive) return false;
+  for (const Slot& slot : slots_)
+    if (!slot.instances[node]->can_quiesce(*this, node)) return false;
+  quiescent_[node] = 1;
+  ++quiescent_count_;
+  trace_activity(node, /*awake=*/false, WakeReason::kConverged);
+  if (recheck_rounds_ > 0)
+    schedule_wake(node, round_ + recheck_rounds_, WakeReason::kSchedule);
+  return true;
 }
 
 void Engine::compute_round_order() {
   // Counter-based hash rank: a deterministic permutation per (seed, round)
-  // that both execution modes share, independent of any RNG stream state.
-  const std::uint64_t round_seed = hash_combine(order_seed_, round_);
+  // that all execution modes share, independent of any RNG stream state.
+  round_seed_cur_ = hash_combine(order_seed_, round_);
   for (std::size_t node = 0; node < order_keys_.size(); ++node)
-    order_keys_[node] = hash_combine(round_seed, node);
+    order_keys_[node] = hash_combine(round_seed_cur_, node);
   std::sort(order_.begin(), order_.end(), [this](NodeId a, NodeId b) {
     return order_keys_[a] != order_keys_[b] ? order_keys_[a] < order_keys_[b]
                                             : a < b;
@@ -121,14 +220,17 @@ void Engine::compute_round_order() {
 void Engine::execute_node(NodeId node, std::size_t rank,
                           const PeerSet& peers) {
   exec::Context& ctx = exec::context();
-  ctx.order_key = rank;
+  // rank+1: order key 0 is reserved for round-start driver events (wake
+  // drains), which must sort ahead of every execution this round. A
+  // uniform shift preserves the relative order the trace contract needs.
+  ctx.order_key = rank + 1;
   ctx.seq = 0;
   for (std::size_t s = 0; s < slots_.size(); ++s) {
     // A protocol earlier in the stack may have put this node to sleep
     // (e.g. consolidation switched the PM off mid-round).
     if (status_[node] != NodeStatus::kActive) break;
     prof::PhaseScope timer(profiler_, prof::PhaseProfiler::kFirstSlot + s);
-    slots_[s][node]->execute(*this, node, peers);
+    slots_[s].instances[node]->execute(*this, node, peers);
   }
 }
 
@@ -160,8 +262,62 @@ void Engine::run_round_serial() {
   for (std::size_t i = 0; i < order_.size(); ++i) {
     const NodeId node = order_[i];
     if (status_[node] != NodeStatus::kActive) continue;
+    if (quiescence_ && quiescent_[node] != 0) continue;
     execute_node(node, i, kNoPeers);
+    if (quiescence_) poll_quiesce(node);
   }
+}
+
+void Engine::run_round_event() {
+  // Runnable subset only: key, sort and visit the nodes that can actually
+  // run. Parked and non-active nodes pay nothing this round.
+  static const PeerSet kNoPeers;
+  run_list_.clear();
+  for (std::size_t node = 0; node < status_.size(); ++node) {
+    if (status_[node] != NodeStatus::kActive) continue;
+    if (!quiescent_.empty() && quiescent_[node] != 0) continue;
+    run_list_.push_back(static_cast<NodeId>(node));
+    order_keys_[node] = hash_combine(round_seed_cur_, node);
+    in_list_round_[node] = round_;
+  }
+  std::sort(run_list_.begin(), run_list_.end(), [this](NodeId a, NodeId b) {
+    return order_keys_[a] != order_keys_[b] ? order_keys_[a] < order_keys_[b]
+                                            : a < b;
+  });
+  in_round_ = true;
+  for (run_cursor_ = 0; run_cursor_ < run_list_.size(); ++run_cursor_) {
+    const NodeId node = run_list_[run_cursor_];
+    // Status may have flipped since scheduling (a peer put the node to
+    // sleep mid-round) — same skip the serial visit applies.
+    if (status_[node] != NodeStatus::kActive) continue;
+    if (quiescent_[node] != 0) continue;
+    execute_node(node, run_cursor_, kNoPeers);
+    if (quiescence_) poll_quiesce(node);
+  }
+  in_round_ = false;
+}
+
+void Engine::insert_runnable(NodeId node) {
+  // Already scheduled this round (visited or still ahead of the cursor):
+  // the serial engine would not visit it twice either.
+  if (in_list_round_[node] == round_) return;
+  const std::uint64_t key = hash_combine(round_seed_cur_, node);
+  order_keys_[node] = key;
+  const NodeId current = run_list_[run_cursor_];
+  // Rank already passed (or ties the executing node): runs next round,
+  // exactly like a serial wake landing behind the visit cursor.
+  if (key < order_keys_[current] ||
+      (key == order_keys_[current] && node <= current))
+    return;
+  const auto pos = std::lower_bound(
+      run_list_.begin() + static_cast<std::ptrdiff_t>(run_cursor_) + 1,
+      run_list_.end(), node, [this](NodeId a, NodeId b) {
+        return order_keys_[a] != order_keys_[b]
+                   ? order_keys_[a] < order_keys_[b]
+                   : a < b;
+      });
+  run_list_.insert(pos, node);
+  in_list_round_[node] = round_;
 }
 
 void Engine::run_round_waves() {
@@ -191,7 +347,8 @@ void Engine::run_round_waves() {
       PeerSet& peers = peer_sets_[node];
       peers.clear();
       if (status_[node] == NodeStatus::kActive) {
-        for (auto& slot : slots_) slot[node]->select_peers(*this, node, peers);
+        for (auto& slot : slots_)
+          slot.instances[node]->select_peers(*this, node, peers);
       }
       if (!peers.global()) {
         const std::uint64_t word = claim_word(wave_stamp, rank_[node]);
@@ -250,11 +407,23 @@ void Engine::run_round_waves() {
 }
 
 void Engine::step() {
-  compute_round_order();
-  if (parallel_) {
-    run_round_waves();
+  // Round-start driver context: order key 0 sorts scheduled-wake activity
+  // events ahead of every execution this round (execute_node uses rank+1),
+  // identically in every mode.
+  exec::Context& ctx = exec::context();
+  ctx.order_key = 0;
+  ctx.seq = 0;
+  round_seed_cur_ = hash_combine(order_seed_, round_);
+  drain_wake_queue();
+  if (event_mode_) {
+    run_round_event();
   } else {
-    run_round_serial();
+    compute_round_order();
+    if (parallel_) {
+      run_round_waves();
+    } else {
+      run_round_serial();
+    }
   }
   ++round_;
   for (Observer* obs : observers_) {

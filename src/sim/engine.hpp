@@ -28,6 +28,26 @@
 //     serial rank-order run — results are bit-identical to serial mode at
 //     any thread count (threads=1 included). A global-footprint node (e.g.
 //     a centralized baseline) executes alone, inline on the driver.
+//   * Event-driven (enable_event_scheduler): instead of scanning every
+//     node each round, the engine keeps a runnable set (active nodes that
+//     are not quiescent), sorts only that subset by the shared hash-rank
+//     keys, and executes it in rank order. Mid-round activations insert
+//     into the remaining schedule at their rank position (or carry to the
+//     next round when their rank has already passed), so the executed
+//     sequence is exactly the serial engine's executed sequence at the
+//     same configuration — field-identical results, including profiler
+//     call counts (tests/integration/test_determinism.cpp).
+//
+// Quiescence (enable_quiescence, DESIGN.md §12) is a *configuration-level*
+// semantic, orthogonal to the execution mode: after a node executes, every
+// installed slot is polled via Protocol::can_quiesce, and a unanimous vote
+// parks the node — it is skipped until wake()/schedule_wake()/set_status
+// re-activates it. Both the serial and event engines apply the same rule,
+// so any (mode A, mode B) pair at a fixed config stays field-identical;
+// the event engine merely skips parked nodes without visiting them.
+// Protocol storage is struct-of-arrays: each slot owns one contiguous
+// arena of concrete protocol objects (add_protocol_pool) plus a flat
+// per-node pointer array scanned on the hot path.
 //
 // Typed peer access is RTTI-free on the per-round path: each slot carries
 // cached typed-pointer views, registered eagerly when the slot is added
@@ -48,6 +68,8 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -110,6 +132,38 @@ class Engine {
     return slot;
   }
 
+  /// Struct-of-arrays slot: one contiguous arena of T, one object per
+  /// node, constructed in node-id order by `make(node)`. The per-round
+  /// scan walks objects that are adjacent in memory (no per-instance heap
+  /// allocation, no pointer chasing between neighbours), which is what
+  /// makes 100k-node rounds bandwidth-bound rather than allocator-bound.
+  /// The typed view is registered eagerly, like the typed overload above.
+  /// T must be move-constructible (the arena is reserved up front, so the
+  /// move only runs while filling the pool, never afterwards; element
+  /// addresses are stable for the engine's lifetime).
+  template <typename T, typename Factory>
+    requires(std::derived_from<T, Protocol> && !std::same_as<T, Protocol> &&
+             std::constructible_from<T, std::invoke_result_t<Factory&, NodeId>>)
+  ProtocolSlot add_protocol_pool(Factory&& make) {
+    auto arena = std::make_shared<std::vector<T>>();
+    arena->reserve(node_count());
+    for (std::size_t node = 0; node < node_count(); ++node)
+      arena->emplace_back(make(static_cast<NodeId>(node)));
+    Slot slot;
+    slot.instances.reserve(arena->size());
+    std::vector<void*> ptrs;
+    ptrs.reserve(arena->size());
+    for (T& p : *arena) {
+      slot.instances.push_back(&p);
+      ptrs.push_back(&p);
+    }
+    slot.storage = std::move(arena);
+    const ProtocolSlot index = push_slot(std::move(slot));
+    append_view(index, type_tag<T>(), std::move(ptrs));
+    return index;
+  }
+
+
   /// Widens an already-registered `Concrete` view to a base/interface
   /// type, so protocol_at<As> is served from cache too (e.g. a Cyclon
   /// slot viewed as overlay::NeighborProvider). Pure pointer adjustment —
@@ -140,6 +194,57 @@ class Engine {
   void enable_parallel_execution(std::size_t threads);
 
   [[nodiscard]] bool parallel() const noexcept { return parallel_; }
+
+  /// Switches step() to event-driven execution: only the runnable set
+  /// (active, non-quiescent nodes) is keyed, sorted and executed each
+  /// round; mid-round activations insert at their rank position. Executed
+  /// sequences — and therefore all results — are identical to the serial
+  /// engine at the same configuration. Mutually exclusive with
+  /// enable_parallel_execution.
+  void enable_event_scheduler();
+
+  [[nodiscard]] bool event_mode() const noexcept { return event_mode_; }
+
+  /// Enables the quiescence semantic: after a node executes, its slots are
+  /// polled via Protocol::can_quiesce and a unanimous vote parks it until
+  /// an event re-activates it. `recheck_rounds` > 0 additionally schedules
+  /// a wake `recheck_rounds` rounds after each parking, so no node stays
+  /// parked unobserved forever (0 disables the heartbeat). Applies
+  /// identically under serial and event execution; mutually exclusive with
+  /// the wave-parallel engine.
+  void enable_quiescence(Round recheck_rounds = 0);
+
+  [[nodiscard]] bool quiescence_enabled() const noexcept {
+    return quiescence_;
+  }
+
+  /// True while `node` is parked by a unanimous can_quiesce vote.
+  [[nodiscard]] bool is_quiescent(NodeId node) const {
+    GLAP_REQUIRE(node < status_.size(), "node id out of range");
+    return !quiescent_.empty() && quiescent_[node] != 0;
+  }
+
+  /// Number of nodes currently parked by can_quiesce votes. Nodes skipped
+  /// for being asleep/failed are not counted — this is the convergence
+  /// signal, not the scheduling set.
+  [[nodiscard]] std::size_t quiescent_count() const noexcept {
+    return quiescent_count_;
+  }
+
+  /// Re-activates a parked node immediately. While a round is in flight
+  /// under the event scheduler, the node is inserted into the remaining
+  /// schedule iff its rank has not passed yet — exactly when the serial
+  /// engine would still visit it this round. No-op on nodes that are not
+  /// parked, so callers may signal unconditionally.
+  void wake(NodeId node, WakeReason reason);
+
+  /// Enqueues a wake for the start of `round` (or the next round start if
+  /// `round` has passed). Drained before the round order is computed, in
+  /// (round, node) order, so the resulting schedule is deterministic.
+  void schedule_wake(NodeId node, Round round, WakeReason reason);
+
+  /// wake() for every parked node (e.g. a fleet-wide re-learning trigger).
+  void wake_all(WakeReason reason);
 
   /// Runs `rounds` rounds (continuing from the current round counter);
   /// stops early if an observer requests it. Returns rounds executed.
@@ -175,15 +280,17 @@ class Engine {
   template <typename T>
   [[nodiscard]] T& protocol_at(ProtocolSlot slot, NodeId node) {
     GLAP_HOT_REQUIRE(slot < slots_.size(), "protocol slot out of range");
-    GLAP_HOT_REQUIRE(node < slots_[slot].size(), "node id out of range");
+    GLAP_HOT_REQUIRE(node < slots_[slot].instances.size(),
+                     "node id out of range");
     const SlotViews& views = views_[slot];
     const std::size_t count = views.count.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < count; ++i) {
       const TypedView& view = views.entries[i];
       if (view.tag != type_tag<T>()) continue;
       T* typed = static_cast<T*>(view.ptrs[node]);
-      GLAP_DEBUG_ASSERT(dynamic_cast<T*>(slots_[slot][node].get()) == typed,
-                        "cached protocol view out of sync");
+      GLAP_DEBUG_ASSERT(
+          dynamic_cast<T*>(slots_[slot].instances[node]) == typed,
+          "cached protocol view out of sync");
       return *typed;
     }
     return resolve_protocol_view<T>(slot, node);
@@ -229,6 +336,16 @@ class Engine {
  private:
   using TypeTag = const void*;
 
+  /// One protocol layer, struct-of-arrays: `instances` is the flat hot
+  /// array scanned per round (index == NodeId); `storage` owns the backing
+  /// memory — a contiguous `std::vector<T>` arena for pool slots, or the
+  /// legacy per-instance unique_ptr vector for slots installed through
+  /// add_protocol_slot.
+  struct Slot {
+    std::vector<Protocol*> instances;
+    std::shared_ptr<void> storage;
+  };
+
   struct TypedView {
     TypeTag tag = nullptr;
     std::vector<void*> ptrs;  ///< per-node pointers, already cast to T*
@@ -261,15 +378,16 @@ class Engine {
   template <typename T>
   T& resolve_protocol_view(ProtocolSlot slot, NodeId node) {
     GLAP_REQUIRE(slot < slots_.size(), "protocol slot out of range");
-    GLAP_REQUIRE(node < slots_[slot].size(), "node id out of range");
+    GLAP_REQUIRE(node < slots_[slot].instances.size(),
+                 "node id out of range");
     std::lock_guard lock(views_mutex_);
     // Another thread may have resolved the view while we waited.
     if (const TypedView* view = find_view(slot, type_tag<T>()))
       return *static_cast<T*>(view->ptrs[node]);
     std::vector<void*> ptrs;
-    ptrs.reserve(slots_[slot].size());
-    for (const auto& p : slots_[slot]) {
-      T* typed = dynamic_cast<T*>(p.get());
+    ptrs.reserve(slots_[slot].instances.size());
+    for (Protocol* p : slots_[slot].instances) {
+      T* typed = dynamic_cast<T*>(p);
       GLAP_REQUIRE(typed != nullptr, "protocol type mismatch for slot");
       ptrs.push_back(typed);
     }
@@ -281,11 +399,33 @@ class Engine {
   void append_view_locked(ProtocolSlot slot, TypeTag tag,
                           std::vector<void*> ptrs);
 
+  /// Registers a finished Slot and its (empty) view set; returns its index.
+  ProtocolSlot push_slot(Slot slot);
+
   /// Recomputes order_ for the current round (hash-rank permutation).
   void compute_round_order();
 
   void run_round_serial();
   void run_round_waves();
+  void run_round_event();
+
+  /// Quiescence vote after `node` executed: parks it when every slot
+  /// agrees. Returns true when the node was parked.
+  bool poll_quiesce(NodeId node);
+
+  /// Drains schedule_wake entries due at the current round (round start,
+  /// driver context — events sort ahead of all execution this round).
+  void drain_wake_queue();
+
+  /// Event-mode mid-round activation: inserts `node` into the remaining
+  /// schedule at its rank position unless its rank already passed.
+  void insert_runnable(NodeId node);
+
+  /// Clears a node's parked bit (if set) and emits the activity event.
+  /// Returns true when the node was parked.
+  bool clear_quiescent(NodeId node, WakeReason reason);
+
+  void trace_activity(NodeId node, bool awake, WakeReason reason);
 
   /// Runs one node's full slot stack (shared by serial and parallel paths;
   /// re-checks status between slots because an earlier protocol may have
@@ -301,7 +441,7 @@ class Engine {
 
   std::vector<NodeStatus> status_;
   std::atomic<std::size_t> active_count_;
-  std::vector<std::vector<std::unique_ptr<Protocol>>> slots_;
+  std::vector<Slot> slots_;
   std::deque<SlotViews> views_;  ///< parallel to slots_
   std::mutex views_mutex_;
   std::vector<Observer*> observers_;
@@ -315,6 +455,20 @@ class Engine {
   std::uint64_t order_seed_;
   Round round_ = 0;
   bool stop_requested_ = false;
+
+  // --- quiescence + event-scheduler state ---
+  bool event_mode_ = false;
+  bool quiescence_ = false;
+  Round recheck_rounds_ = 0;
+  std::vector<std::uint8_t> quiescent_;  ///< parked by can_quiesce vote
+  std::size_t quiescent_count_ = 0;
+  std::uint64_t round_seed_cur_ = 0;  ///< this round's hash-rank seed
+  bool in_round_ = false;             ///< event round in flight
+  std::vector<NodeId> run_list_;      ///< event-mode schedule, rank order
+  std::size_t run_cursor_ = 0;        ///< index currently executing
+  std::vector<Round> in_list_round_;  ///< run_list_ membership stamp
+  /// Pending schedule_wake entries, a min-heap on (round, node, reason).
+  std::vector<std::pair<Round, std::pair<NodeId, WakeReason>>> wake_queue_;
 
   // --- parallel mode state ---
   bool parallel_ = false;

@@ -29,4 +29,38 @@ enum class NodeStatus : std::uint8_t { kActive, kSleeping, kFailed };
   return "?";
 }
 
+/// Cause attached to a quiescence/activity transition (DESIGN.md §12).
+/// kConverged tags the parking transition itself; the rest tag the event
+/// that re-activated a quiescent node. Rendered into "activity" trace
+/// events, so the names are part of the trace schema.
+enum class WakeReason : std::uint8_t {
+  kConverged,  ///< every protocol slot voted can_quiesce — node parked
+  kGossip,     ///< an incoming gossip exchange touched the node's state
+  kDemand,     ///< a hosted VM's demand moved past the wake epsilon
+  kMigration,  ///< a migration / placement / departure landed on the PM
+  kStatus,     ///< lifecycle transition (sleep/wake/fail)
+  kSchedule,   ///< round-indexed re-check fired (Engine::schedule_wake)
+  kRelearn,    ///< fleet-wide re-learning trigger
+};
+
+[[nodiscard]] constexpr const char* to_string(WakeReason r) noexcept {
+  switch (r) {
+    case WakeReason::kConverged:
+      return "converged";
+    case WakeReason::kGossip:
+      return "gossip";
+    case WakeReason::kDemand:
+      return "demand";
+    case WakeReason::kMigration:
+      return "migration";
+    case WakeReason::kStatus:
+      return "status";
+    case WakeReason::kSchedule:
+      return "schedule";
+    case WakeReason::kRelearn:
+      return "relearn";
+  }
+  return "?";
+}
+
 }  // namespace glap::sim

@@ -91,6 +91,17 @@ class Protocol {
   /// Invoked when the node's lifecycle status changes (sleep/wake/fail).
   virtual void on_status_change(Engine& /*engine*/, NodeId /*self*/,
                                 NodeStatus /*status*/) {}
+
+  /// Quiescence vote (DESIGN.md §12): polled right after the node executed
+  /// a round, only when the engine runs with quiescence enabled. A node is
+  /// parked — skipped in subsequent rounds until an event re-activates it —
+  /// only when EVERY installed slot returns true. Must be a pure read of
+  /// the instance's own state. Default: never quiesce, so a stack that
+  /// contains any protocol without an explicit vote stays always-active.
+  virtual bool can_quiesce(const Engine& /*engine*/,
+                           NodeId /*self*/) const {
+    return false;
+  }
 };
 
 /// Observers run at the end of every round; they sample metrics and may

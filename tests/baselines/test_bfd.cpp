@@ -54,7 +54,7 @@ TEST(Bfd, DataCenterConvenienceMatchesManual) {
   dc.observe_demands(demands);
   std::vector<Resources> usages;
   for (cloud::VmId v = 0; v < 8; ++v)
-    usages.push_back(dc.vm(v).current_usage());
+    usages.push_back(dc.vm_current_usage(v));
   EXPECT_EQ(bfd_bin_count(dc),
             bfd_bin_count(usages, dc.config().pm_spec.capacity()));
 }

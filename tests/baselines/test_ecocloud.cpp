@@ -120,7 +120,7 @@ TEST(EcoCloud, FailedEvacuationMovesNothingAndCoolsDown) {
   bed.engine.step();
   EXPECT_EQ(bed.dc.host_of(0), 0u);
   EXPECT_EQ(bed.dc.host_of(1), 0u);
-  EXPECT_TRUE(bed.dc.pm(0).is_on());
+  EXPECT_TRUE(bed.dc.pm_on(0));
   const auto& node0 =
       bed.engine.protocol_at<EcoCloudProtocol>(bed.slot, 0);
   EXPECT_EQ(node0.cooldown_remaining(), 40u);
@@ -143,7 +143,7 @@ TEST(EcoCloud, SuccessfulEvacuationSleepsServer) {
   EXPECT_LT(bed.dc.active_pm_count(), 3u);
   // No VM lives on a sleeping server.
   for (cloud::VmId v = 0; v < 3; ++v)
-    EXPECT_TRUE(bed.dc.pm(bed.dc.host_of(v)).is_on());
+    EXPECT_TRUE(bed.dc.pm_on(bed.dc.host_of(v)));
 }
 
 TEST(EcoCloud, CooldownDecrementsAndSuppressesRetry) {

@@ -29,7 +29,7 @@ TEST(Grmp, PacksLowerUtilizedIntoHigher) {
   bed.dc.observe_demands(demands);
   bed.engine.step();
   EXPECT_EQ(bed.dc.pm(0).vm_count(), 0u);
-  EXPECT_FALSE(bed.dc.pm(0).is_on());
+  EXPECT_FALSE(bed.dc.pm_on(0));
   EXPECT_EQ(bed.dc.pm(1).vm_count(), 3u);
 }
 

@@ -109,8 +109,8 @@ TEST(Pabfd, EvacuatesUnderloadedHostAndSleepsIt) {
   bed.engine.step();
   // PM1's single VM fits on PM2; PM1 switches off. PM0 hosts the manager
   // and must stay on even though it is empty.
-  EXPECT_FALSE(bed.dc.pm(1).is_on());
-  EXPECT_TRUE(bed.dc.pm(0).is_on());
+  EXPECT_FALSE(bed.dc.pm_on(1));
+  EXPECT_TRUE(bed.dc.pm_on(0));
   EXPECT_EQ(bed.dc.pm(2).vm_count(), 4u);
 }
 
@@ -120,7 +120,7 @@ TEST(Pabfd, ManagerHostNeverSleeps) {
   std::vector<Resources> demands(1, Resources{0.1, 0.1});
   bed.dc.observe_demands(demands);
   for (int i = 0; i < 5; ++i) bed.engine.step();
-  EXPECT_TRUE(bed.dc.pm(0).is_on());
+  EXPECT_TRUE(bed.dc.pm_on(0));
 }
 
 TEST(Pabfd, WakesSleepingHostWhenNothingFits) {
@@ -137,7 +137,7 @@ TEST(Pabfd, WakesSleepingHostWhenNothingFits) {
     bed.dc.observe_demands(demands);
     bed.engine.step();
   }
-  ASSERT_FALSE(bed.dc.pm(2).is_on());
+  ASSERT_FALSE(bed.dc.pm_on(2));
   {
     // Round 2: both active PMs overload; relief has nowhere to go but a
     // woken host.
@@ -145,7 +145,7 @@ TEST(Pabfd, WakesSleepingHostWhenNothingFits) {
     bed.dc.observe_demands(demands);
     bed.engine.step();
   }
-  EXPECT_TRUE(bed.dc.pm(2).is_on());
+  EXPECT_TRUE(bed.dc.pm_on(2));
 }
 
 TEST(Pabfd, IntervalThrottlesReconsolidation) {

@@ -35,22 +35,22 @@ TEST(Churn, DepartedVmHasNoHost) {
 TEST(Churn, DepartedVmIgnoresDemands) {
   DataCenter dc = make_dc();
   dc.depart(0);
-  const auto count_before = dc.vm(0).observation_count();
+  const auto count_before = dc.vm_observation_count(0);
   std::vector<Resources> demands(6, Resources{0.9, 0.9});
   dc.observe_demands(demands);
-  EXPECT_EQ(dc.vm(0).observation_count(), count_before);
+  EXPECT_EQ(dc.vm_observation_count(0), count_before);
   // Placed VMs still observe.
-  EXPECT_GT(dc.vm(1).observation_count(), count_before);
+  EXPECT_GT(dc.vm_observation_count(1), count_before);
 }
 
 TEST(Churn, ReArrivalKeepsHistory) {
   DataCenter dc = make_dc();
-  const auto observations = dc.vm(0).observation_count();
+  const auto observations = dc.vm_observation_count(0);
   dc.depart(0);
   dc.place(0, 2);
   EXPECT_TRUE(dc.is_placed(0));
   EXPECT_EQ(dc.host_of(0), 2u);
-  EXPECT_EQ(dc.vm(0).observation_count(), observations);
+  EXPECT_EQ(dc.vm_observation_count(0), observations);
   EXPECT_EQ(dc.placed_vm_count(), 6u);
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cloud/average_tracker.hpp"
 #include "common/assert.hpp"
 
 namespace glap::cloud {
@@ -41,17 +42,21 @@ TEST(AverageTracker, PaperFormula) {
 }
 
 TEST(Vm, UsageScalesWithSpec) {
-  Vm vm(0, ec2_micro());
-  vm.observe_demand({0.5, 0.25});
-  EXPECT_NEAR(vm.current_usage().cpu, 250.0, 1e-9);
-  EXPECT_NEAR(vm.current_usage().mem, 613.0 * 0.25, 1e-9);
-  EXPECT_EQ(vm.observation_count(), 1u);
+  DataCenter dc(1, 1, small_config());
+  dc.place(0, 0);
+  dc.observe_demands(std::vector<Resources>{{0.5, 0.25}});
+  EXPECT_NEAR(dc.vm_current_usage(0).cpu, 250.0, 1e-9);
+  EXPECT_NEAR(dc.vm_current_usage(0).mem, 613.0 * 0.25, 1e-9);
+  EXPECT_EQ(dc.vm_observation_count(0), 1u);
 }
 
 TEST(Vm, RejectsOutOfRangeDemand) {
-  Vm vm(0, ec2_micro());
-  EXPECT_THROW(vm.observe_demand({1.5, 0.0}), precondition_error);
-  EXPECT_THROW(vm.observe_demand({0.0, -0.1}), precondition_error);
+  DataCenter dc(1, 1, small_config());
+  dc.place(0, 0);
+  EXPECT_THROW(dc.observe_demands(std::vector<Resources>{{1.5, 0.0}}),
+               precondition_error);
+  EXPECT_THROW(dc.observe_demands(std::vector<Resources>{{0.0, -0.1}}),
+               precondition_error);
 }
 
 TEST(DataCenter, PlacementAndHostLookup) {
@@ -97,7 +102,7 @@ TEST(DataCenter, MigrationMovesVmAndUpdatesCaches) {
   EXPECT_EQ(dc.host_of(0), 1u);
   EXPECT_EQ(dc.pm(0).vm_count(), 1u);
   EXPECT_EQ(dc.pm(1).vm_count(), 3u);
-  const Resources moved = dc.vm(0).current_usage();
+  const Resources moved = dc.vm_current_usage(0);
   EXPECT_NEAR(dc.current_usage(0).cpu, before_src.cpu - moved.cpu, 1e-9);
   EXPECT_NEAR(dc.current_usage(1).cpu, before_dst.cpu + moved.cpu, 1e-9);
   EXPECT_EQ(dc.total_migrations(), 1u);
@@ -248,6 +253,63 @@ TEST(DataCenter, SlaTracksMigrationDegradation) {
   dc.migrate(0, 1);
   dc.end_round();
   EXPECT_GT(dc.sla().slalm(), 0.0);
+}
+
+// ---- quiescence wake hook (DESIGN.md §12) -------------------------------
+
+using HookLog = std::vector<std::pair<PmId, DataCenter::WakeEvent>>;
+
+HookLog::value_type ev(PmId pm, DataCenter::WakeEvent event) {
+  return {pm, event};
+}
+
+TEST(DataCenter, WakeHookFiresOnMigrationPlacementDepartureAndPower) {
+  DataCenter dc = make_dc(0.5);
+  HookLog log;
+  dc.set_wake_hook(
+      [&](PmId pm, DataCenter::WakeEvent event) { log.push_back({pm, event}); },
+      /*demand_epsilon=*/0.5);
+
+  dc.migrate(0, 3);  // both endpoints must re-examine their packing
+  EXPECT_EQ(log, (HookLog{ev(0, DataCenter::WakeEvent::kMigration),
+                          ev(3, DataCenter::WakeEvent::kMigration)}));
+
+  log.clear();
+  dc.depart(1);  // PM 0's remaining load changed
+  EXPECT_EQ(log, (HookLog{ev(0, DataCenter::WakeEvent::kMigration)}));
+
+  log.clear();
+  dc.set_power(0, PmPower::kSleep);  // PM 0 is empty now
+  EXPECT_EQ(log, (HookLog{ev(0, DataCenter::WakeEvent::kPower)}));
+}
+
+TEST(DataCenter, WakeHookDemandEpsilonBandsDrift) {
+  DataCenter dc = make_dc(0.5);  // reference anchored at 0.5 on install
+  HookLog log;
+  dc.set_wake_hook(
+      [&](PmId pm, DataCenter::WakeEvent event) { log.push_back({pm, event}); },
+      /*demand_epsilon=*/0.2);
+
+  // Drift within the epsilon band: no wake, reference stays anchored.
+  dc.observe_demands(std::vector<Resources>(8, Resources{0.65, 0.5}));
+  EXPECT_TRUE(log.empty());
+
+  // Cumulative drift past the band (vs the 0.5 anchor, not the last
+  // sample): every hosted VM triggers a demand wake on its host.
+  dc.observe_demands(std::vector<Resources>(8, Resources{0.72, 0.5}));
+  ASSERT_FALSE(log.empty());
+  for (const auto& [pm, event] : log) {
+    EXPECT_EQ(event, DataCenter::WakeEvent::kDemand);
+    EXPECT_LT(pm, 4u);
+  }
+  const std::size_t wakes_after_jump = log.size();
+  EXPECT_GE(wakes_after_jump, 8u) << "one wake per drifted VM";
+
+  // The reference re-anchors at the waking sample, so holding steady
+  // produces no further wakes.
+  log.clear();
+  dc.observe_demands(std::vector<Resources>(8, Resources{0.72, 0.5}));
+  EXPECT_TRUE(log.empty());
 }
 
 }  // namespace

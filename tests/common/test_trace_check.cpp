@@ -55,6 +55,15 @@ TraceEvent summary(std::uint64_t round, std::uint64_t active,
   return e;
 }
 
+TraceEvent activity(std::uint64_t round, std::int64_t pm, bool awake,
+                    const char* reason) {
+  TraceEvent e;
+  e.kind = EventKind::kActivity;
+  e.round = round;
+  e.activity = {pm, awake, reason};
+  return e;
+}
+
 TraceEvent qsim(std::uint64_t round, double similarity) {
   TraceEvent e;
   e.kind = EventKind::kQsim;
@@ -303,6 +312,42 @@ TEST(Invariants, ShuffleSelf) {
 
 TEST(Invariants, ShuffleNegative) {
   expect_single(check({shuffle(0, 1, 2, -1, 8)}), "shuffle-negative");
+}
+
+TEST(Invariants, ActivityParkWakeCyclePasses) {
+  EXPECT_TRUE(check({activity(1, 3, false, "converged"),
+                     activity(4, 3, true, "gossip"),
+                     activity(5, 3, false, "converged")})
+                  .empty());
+}
+
+TEST(Invariants, ActivityUnknownReason) {
+  expect_single(check({activity(1, 3, false, "cosmic-rays")}),
+                "activity-reason");
+}
+
+TEST(Invariants, ActivityParkMustBeConvergedAndWakeMustNot) {
+  expect_single(check({activity(1, 3, false, "gossip")}), "activity-reason");
+  // Park legitimately first so only the reason (not alternation) trips.
+  expect_single(check({activity(1, 3, false, "converged"),
+                       activity(2, 3, true, "converged")}),
+                "activity-reason");
+}
+
+TEST(Invariants, ActivityWakeWithoutPark) {
+  expect_single(check({activity(2, 5, true, "demand")}),
+                "activity-alternation");
+}
+
+TEST(Invariants, ActivityDoublePark) {
+  expect_single(check({activity(1, 5, false, "converged"),
+                       activity(2, 5, false, "converged")}),
+                "activity-alternation");
+}
+
+TEST(Invariants, ActivityParkOnPoweredOffPm) {
+  expect_single(check({power(0, 6, false), activity(1, 6, false, "converged")}),
+                "activity-park-off-pm");
 }
 
 TEST(Invariants, FaultEventsAreAcceptedUnchecked) {

@@ -106,6 +106,20 @@ TEST(ParseTraceLine, FaultFieldExact) {
   EXPECT_EQ(e.fault.value, 2.5);
 }
 
+TEST(ParseTraceLine, ActivityFieldExact) {
+  const TraceEvent parked =
+      round_trip_buffered(Kind::kActivity, 4, 0, 0, 0, 0, 0, 9);
+  ASSERT_EQ(parked.kind, EventKind::kActivity);
+  EXPECT_EQ(parked.activity.pm, 4);
+  EXPECT_FALSE(parked.activity.awake);
+  EXPECT_EQ(parked.activity.reason, "converged");
+
+  const TraceEvent woke =
+      round_trip_buffered(Kind::kActivity, 4, 1, 2, 0, 0, 0, 9);
+  EXPECT_TRUE(woke.activity.awake);
+  EXPECT_EQ(woke.activity.reason, "demand");
+}
+
 TEST(ParseTraceLine, DriverDirectLinesFieldExact) {
   std::ostringstream out;
   TraceLog log(out);

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/exec_context.hpp"
+#include "sim/node.hpp"
 
 namespace glap::trace {
 namespace {
@@ -23,6 +24,40 @@ TEST(KindName, NamesAllKinds) {
   EXPECT_STREQ(kind_name(Kind::kShuffle), "shuffle");
   EXPECT_STREQ(kind_name(Kind::kOverload), "overload");
   EXPECT_STREQ(kind_name(Kind::kFault), "fault");
+  EXPECT_STREQ(kind_name(Kind::kActivity), "activity");
+}
+
+// The activity reason codes are the numeric values of sim::WakeReason
+// (the engine emits `static_cast<int64_t>(reason)`), so the two name
+// tables must agree code for code.
+TEST(ActivityReasonNames, PinnedToWakeReasonCodes) {
+  for (std::int64_t code = 0; code <= 6; ++code)
+    EXPECT_STREQ(activity_reason_name(code),
+                 to_string(static_cast<sim::WakeReason>(code)))
+        << "code " << code;
+  EXPECT_STREQ(activity_reason_name(7), "?");
+  EXPECT_STREQ(activity_reason_name(-1), "?");
+}
+
+TEST(TraceLog, RendersActivityKind) {
+  ContextGuard guard;
+  std::ostringstream out;
+  TraceLog log(out);
+  log.begin_round(12);
+  auto& ctx = exec::context();
+  ctx.shard_slot = 1;
+  ctx.order_key = 0;
+  ctx.seq = 0;
+  log.emit(Kind::kActivity, 7, /*awake=*/0,
+           static_cast<std::int64_t>(sim::WakeReason::kConverged));
+  log.emit(Kind::kActivity, 7, /*awake=*/1,
+           static_cast<std::int64_t>(sim::WakeReason::kDemand));
+  log.commit_round();
+  EXPECT_EQ(out.str(),
+            "{\"ev\":\"activity\",\"round\":12,\"pm\":7,\"awake\":false,"
+            "\"reason\":\"converged\"}\n"
+            "{\"ev\":\"activity\",\"round\":12,\"pm\":7,\"awake\":true,"
+            "\"reason\":\"demand\"}\n");
 }
 
 TEST(TraceLog, RendersReservedFaultKind) {

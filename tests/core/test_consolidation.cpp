@@ -78,7 +78,7 @@ TEST(Consolidation, DrainsLessUtilizedPmToSleep) {
   // PM 0 (1 VM) is less utilized: it drains to PM 1 and sleeps.
   EXPECT_EQ(bed.dc.pm(0).vm_count(), 0u);
   EXPECT_EQ(bed.dc.pm(1).vm_count(), 3u);
-  EXPECT_FALSE(bed.dc.pm(0).is_on());
+  EXPECT_FALSE(bed.dc.pm_on(0));
   EXPECT_FALSE(bed.engine.is_active(0));
 }
 
@@ -92,7 +92,7 @@ TEST(Consolidation, PiInRejectionBlocksMigration) {
   bed.engine.step();
   EXPECT_EQ(bed.dc.pm(0).vm_count(), 1u);
   EXPECT_EQ(bed.dc.pm(1).vm_count(), 2u);
-  EXPECT_TRUE(bed.dc.pm(0).is_on());
+  EXPECT_TRUE(bed.dc.pm_on(0));
   std::uint64_t rejects = 0;
   for (sim::NodeId n = 0; n < 2; ++n)
     rejects += bed.stats(n).rejected_by_pi_in;
@@ -172,7 +172,7 @@ TEST(Consolidation, SingleActivePmDoesNothing) {
   bed.set_demands({{0.3, 0.3}, {0.3, 0.3}});
   bed.engine.step();
   EXPECT_EQ(bed.dc.total_migrations(), 0u);
-  EXPECT_TRUE(bed.dc.pm(0).is_on());
+  EXPECT_TRUE(bed.dc.pm_on(0));
 }
 
 TEST(Consolidation, EmptyTablesStillConsolidate) {

@@ -1,0 +1,14 @@
+// Fixture: per-round heap allocation inside round-loop scopes.
+#include <memory>
+#include <vector>
+
+struct Widget {
+  int x = 0;
+};
+
+void learning_cycle(std::vector<int>& sink) {
+  auto w = std::make_unique<Widget>();  // allocates every round
+  int* raw = new int(3);                // allocates every round
+  sink.push_back(*raw + w->x);          // no sink.reserve in this file
+  delete raw;
+}

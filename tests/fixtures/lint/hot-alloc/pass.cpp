@@ -1,0 +1,15 @@
+// Fixture: hot loops reuse preallocated buffers; setup paths may allocate.
+#include <memory>
+#include <vector>
+
+struct Widget {
+  int x = 0;
+};
+
+// install() is not a round-loop scope: one-time setup allocation is fine.
+std::unique_ptr<Widget> install() { return std::make_unique<Widget>(); }
+
+void learning_cycle(std::vector<int>& scratch, int rounds) {
+  scratch.reserve(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) scratch.push_back(r);
+}

@@ -1,0 +1,7 @@
+// Fixture: the same hazard excused by a justified allow.
+#include <vector>
+
+void aggregation_cycle(std::vector<int>& sink) {
+  // glap-lint: allow(hot-alloc): grows once on the first round only
+  sink.push_back(1);
+}

@@ -1,6 +1,10 @@
 // Harness-level determinism: run_experiment with engine_threads > 1 must
 // reproduce the serial reference run bit-for-bit — every per-round sample
 // and every floating-point aggregate — for every algorithm in the suite.
+// The event-driven scheduler (DESIGN.md §12) is held to the same contract
+// at every configuration, including quiescence, where the executed set
+// shrinks but must shrink identically under both engines (profile call
+// counts included).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -64,6 +68,8 @@ void expect_identical(const RunResult& a, const RunResult& b,
         << what << " round " << r;
     EXPECT_EQ(a.rounds[r].migration_energy_j, b.rounds[r].migration_energy_j)
         << what << " round " << r;
+    EXPECT_EQ(a.rounds[r].quiescent_pms, b.rounds[r].quiescent_pms)
+        << what << " round " << r;
   }
 }
 
@@ -82,6 +88,27 @@ TEST_P(DeterminismTest, ParallelEngineMatchesSerialBitForBit) {
   expect_identical(serial, par4, "threads=4");
 }
 
+TEST_P(DeterminismTest, EventEngineMatchesSerialBitForBit) {
+  ExperimentConfig config = small_config(GetParam());
+  const RunResult serial = run_experiment(config);
+
+  config.event_engine = true;
+  const RunResult event = run_experiment(config);
+  expect_identical(serial, event, "event");
+}
+
+TEST_P(DeterminismTest, EventEngineMatchesSerialUnderQuiescence) {
+  ExperimentConfig config = small_config(GetParam());
+  config.glap.quiescence.enabled = true;
+  config.glap.quiescence.idle_rounds = 4;
+  config.glap.quiescence.demand_epsilon = 0.10;
+  const RunResult serial = run_experiment(config);
+
+  config.event_engine = true;
+  const RunResult event = run_experiment(config);
+  expect_identical(serial, event, "event+quiescence");
+}
+
 INSTANTIATE_TEST_SUITE_P(Algorithms, DeterminismTest,
                          ::testing::Values(Algorithm::kGlap, Algorithm::kGrmp,
                                            Algorithm::kEcoCloud,
@@ -89,6 +116,38 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, DeterminismTest,
                          [](const auto& info) {
                            return std::string(to_string(info.param));
                          });
+
+// Satellite contract for the quiescence engine: a run long enough for PMs
+// to converge and park, with churn and demand drift supplying gossip /
+// demand / migration re-activations, must stay field-identical between
+// the serial and event engines AND must actually exercise the park/wake
+// cycle (otherwise this test would pass vacuously).
+TEST(Determinism, QuiescentPmsAreReactivatedIdenticallyUnderBothEngines) {
+  ExperimentConfig config = small_config(Algorithm::kGlap);
+  config.rounds = 80;
+  config.glap.quiescence.enabled = true;
+  config.glap.quiescence.idle_rounds = 3;
+  config.glap.quiescence.demand_epsilon = 0.10;
+  config.churn.enabled = true;
+  config.churn.departure_prob = 0.003;
+  config.churn.arrival_prob = 0.05;
+  const RunResult serial = run_experiment(config);
+
+  config.event_engine = true;
+  const RunResult event = run_experiment(config);
+  expect_identical(serial, event, "event+quiescence+churn");
+
+  std::uint32_t peak = 0;
+  bool woke = false;
+  for (std::size_t r = 0; r < serial.rounds.size(); ++r) {
+    peak = std::max(peak, serial.rounds[r].quiescent_pms);
+    if (r > 0 &&
+        serial.rounds[r].quiescent_pms < serial.rounds[r - 1].quiescent_pms)
+      woke = true;
+  }
+  EXPECT_GT(peak, 0u) << "no PM ever parked — the scenario is too noisy";
+  EXPECT_TRUE(woke) << "no parked PM was ever re-activated";
+}
 
 TEST(Determinism, ParallelRunIsReproducible) {
   ExperimentConfig config = small_config(Algorithm::kGlap);

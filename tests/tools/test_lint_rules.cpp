@@ -36,6 +36,7 @@ const std::map<std::string, std::string>& as_path_for_rule() {
       {"trace-kind", "src/common/fixture.cpp"},
       {"checks-guard", "src/common/fixture.cpp"},
       {"float-narrowing", "src/qlearn/fixture.cpp"},
+      {"hot-alloc", "src/sim/fixture.cpp"},
       {"suppression", "bench/fixture.cpp"},
   };
   return kAsPath;
@@ -84,7 +85,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllRules, LintRuleTest,
     ::testing::Values("wall-clock", "banned-random", "unordered-iteration",
                       "pointer-order", "static-mutable", "trace-kind",
-                      "checks-guard", "float-narrowing", "suppression"),
+                      "checks-guard", "float-narrowing", "hot-alloc",
+                      "suppression"),
     [](const auto& info) {
       std::string name = info.param;
       for (char& c : name)
@@ -142,6 +144,28 @@ TEST(LintRules, FloatNarrowingCoversQtablePairButNotOtherCore) {
   EXPECT_TRUE(lint_source("src/core/rewards.cpp", code).findings.empty());
 }
 
+// hot-alloc is scoped twice: by directory (src/sim, src/core) and by
+// scope (round-loop functions only); a reserve anywhere in the file
+// excuses push_back growth.
+TEST(LintRules, HotAllocFiresOnlyInRoundLoopScopesOfSimAndCore) {
+  const std::string hot =
+      "#include <vector>\n"
+      "void learning_cycle(std::vector<int>& v) { v.push_back(1); }\n";
+  EXPECT_FALSE(lint_source("src/sim/x.cpp", hot).findings.empty());
+  EXPECT_FALSE(lint_source("src/core/x.cpp", hot).findings.empty());
+  EXPECT_TRUE(lint_source("src/overlay/x.cpp", hot).findings.empty());
+  EXPECT_TRUE(lint_source("src/harness/x.cpp", hot).findings.empty());
+  const std::string cold =
+      "#include <vector>\n"
+      "void install(std::vector<int>& v) { v.push_back(1); }\n";
+  EXPECT_TRUE(lint_source("src/sim/x.cpp", cold).findings.empty());
+  const std::string reserved =
+      "#include <vector>\n"
+      "void prime(std::vector<int>& v) { v.reserve(8); }\n"
+      "void learning_cycle(std::vector<int>& v) { v.push_back(1); }\n";
+  EXPECT_TRUE(lint_source("src/sim/x.cpp", reserved).findings.empty());
+}
+
 // A stale allow is itself a finding: deleting the hazard without deleting
 // its excuse shrinks the allow inventory by force.
 TEST(LintRules, StaleAllowIsReportedUnderTheSuppressionRule) {
@@ -158,7 +182,7 @@ TEST(LintRules, StaleAllowIsReportedUnderTheSuppressionRule) {
 TEST(LintRules, RuleCatalogueTiersAreStable) {
   std::map<std::string, std::string> tier;
   for (const RuleInfo& r : rules()) tier[r.name] = r.tier;
-  EXPECT_EQ(tier.size(), 9u);
+  EXPECT_EQ(tier.size(), 10u);
   EXPECT_EQ(tier.at("wall-clock"), "determinism");
   EXPECT_EQ(tier.at("banned-random"), "determinism");
   EXPECT_EQ(tier.at("unordered-iteration"), "determinism");
@@ -167,6 +191,7 @@ TEST(LintRules, RuleCatalogueTiersAreStable) {
   EXPECT_EQ(tier.at("trace-kind"), "safety");
   EXPECT_EQ(tier.at("checks-guard"), "safety");
   EXPECT_EQ(tier.at("float-narrowing"), "safety");
+  EXPECT_EQ(tier.at("hot-alloc"), "perf");
   EXPECT_EQ(tier.at("suppression"), "meta");
   EXPECT_TRUE(is_known_rule("wall-clock"));
   EXPECT_FALSE(is_known_rule("wallclock"));

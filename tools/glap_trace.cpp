@@ -52,7 +52,8 @@ int usage() {
       "                                                   to results/"
       "trace_stats.json)\n"
       "  gen      <out> [--algorithm A] [--pms N] [--ratio R] [--warmup N]\n"
-      "                 [--rounds N] [--seed S] [--threads T]\n"
+      "                 [--rounds N] [--seed S] [--threads T] [--event]\n"
+      "                 [--quiesce]\n"
       "                                                   run an experiment "
       "and write its trace\n");
   return kExitError;
@@ -384,6 +385,16 @@ int cmd_gen(const Args& args) {
   config.seed = static_cast<std::uint64_t>(flag_int(args, "--seed", 42));
   config.engine_threads =
       static_cast<std::size_t>(flag_int(args, "--threads", 1));
+  config.event_engine = has_flag(args, "--event");
+  if (has_flag(args, "--quiesce")) {
+    // Quiescence defaults tuned for short gen runs: wake on any visible
+    // demand move, park after a short calm streak.
+    config.glap.quiescence.enabled = true;
+    config.glap.quiescence.demand_epsilon =
+        0.01 * static_cast<double>(flag_int(args, "--epsilon-pct", 15));
+    config.glap.quiescence.idle_rounds =
+        static_cast<sim::Round>(flag_int(args, "--idle-rounds", 8));
+  }
   config.fit_glap_phases_to_warmup();
   config.observability.trace_path = args.file;
 

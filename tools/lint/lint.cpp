@@ -36,6 +36,10 @@ constexpr RuleInfo kRules[] = {
     {"float-narrowing", "safety",
      "no float in Q-table kernels (src/qlearn, src/core/qtable_pair) — "
      "the learning state is double end to end"},
+    {"hot-alloc", "perf",
+     "no per-round heap allocation in round-loop scopes of src/sim and "
+     "src/core: new/make_unique/make_shared, or push_back/emplace_back on "
+     "a container never reserve()d in the file"},
     {"suppression", "meta",
      "glap-lint allow comments must name a known rule, carry a "
      "justification, and match a real finding"},
@@ -567,6 +571,115 @@ void rule_float_narrowing(Analysis& a) {
              "results and breaks golden tests");
 }
 
+// hot-alloc: heap allocation inside round-loop scopes. The engine's round
+// loop dominates wall time at 10k-100k PMs, so per-round allocation there
+// is a measured regression, not a style nit (DESIGN.md §12). A scope is
+// "round-loop" when the enclosing function is one the engine enters every
+// round per node: the per-node dispatch (`execute`, `execute_node`,
+// `run_round`), any `*_cycle` protocol phase, or a known per-round helper.
+// Setup/install paths allocate freely. push_back/emplace_back is only
+// flagged when the receiver is never reserve()d anywhere in the file —
+// a reserve hoists the growth out of the hot path.
+bool in_hot_alloc_dirs(std::string_view rel) {
+  return starts_with(rel, "src/sim/") || starts_with(rel, "src/core/");
+}
+
+bool hot_scope_name(const std::string& name) {
+  static const std::set<std::string_view> kExact = {
+      "execute",     "execute_node", "run_round",  "poll_quiesce",
+      "find_vm",     "update_state", "grow_pool",  "draw_subset",
+      "train_round", "wake"};
+  return kExact.count(name) > 0 || name.find("_cycle") != std::string::npos;
+}
+
+void rule_hot_alloc(Analysis& a) {
+  if (!in_hot_alloc_dirs(a.rel)) return;
+  const auto& t = a.toks;
+  // Pre-pass: receivers that are reserve()d somewhere in this file.
+  std::set<std::string> reserved;
+  for (std::size_t i = 0; i + 3 < t.size(); ++i)
+    if (t[i].kind == Token::Kind::kIdent &&
+        (a.is_punct(i + 1, ".") || a.is_punct(i + 1, "->")) &&
+        a.is_ident(i + 2, "reserve") && a.is_punct(i + 3, "("))
+      reserved.insert(t[i].text);
+
+  static const std::set<std::string_view> kNotAFunction = {
+      "if", "for", "while", "switch", "catch", "return", "sizeof"};
+  struct Scope {
+    int depth;         ///< brace depth of the function body
+    bool hot;
+    std::string name;  ///< innermost hot scope, for the diagnostic
+  };
+  std::vector<Scope> scopes;
+  int depth = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (a.is_punct(i, "{")) {
+      ++depth;
+      continue;
+    }
+    if (a.is_punct(i, "}")) {
+      --depth;
+      while (!scopes.empty() && depth < scopes.back().depth)
+        scopes.pop_back();
+      continue;
+    }
+    // Function definition: ident ( ... ) [const noexcept override final] {
+    // (ctor-init-lists and trailing-return types are not recognised; the
+    // hot set contains no constructors, so nothing is lost).
+    if (t[i].kind == Token::Kind::kIdent && !kNotAFunction.count(t[i].text) &&
+        a.is_punct(i + 1, "(")) {
+      int d = 0;
+      std::size_t j = i + 1;
+      for (; j < t.size() && j < i + 512; ++j) {
+        if (a.is_punct(j, "(")) ++d;
+        else if (a.is_punct(j, ")") && --d == 0) break;
+      }
+      if (j < t.size() && a.is_punct(j, ")")) {
+        std::size_t k = j + 1;
+        while (k < t.size() && t[k].kind == Token::Kind::kIdent &&
+               (t[k].text == "const" || t[k].text == "noexcept" ||
+                t[k].text == "override" || t[k].text == "final"))
+          ++k;
+        if (k < t.size() && a.is_punct(k, "{"))
+          scopes.push_back({depth + 1, hot_scope_name(t[i].text), t[i].text});
+      }
+    }
+    std::string hot_name;
+    for (const Scope& s : scopes)
+      if (s.hot) hot_name = s.name;
+    if (hot_name.empty()) continue;
+
+    if (a.is_ident(i, "new") && !(i > 0 && (a.is_punct(i - 1, ".") ||
+                                            a.is_punct(i - 1, "->") ||
+                                            a.is_ident(i - 1, "operator")))) {
+      a.flag(t[i].line, "hot-alloc",
+             "'new' inside round-loop scope '" + hot_name + "' allocates "
+             "every round; hoist the allocation into setup or a reused "
+             "member buffer");
+      continue;
+    }
+    if ((a.is_ident(i, "make_unique") || a.is_ident(i, "make_shared")) &&
+        (a.is_punct(i + 1, "<") || a.is_punct(i + 1, "("))) {
+      a.flag(t[i].line, "hot-alloc",
+             "'" + t[i].text + "' inside round-loop scope '" + hot_name +
+             "' allocates every round; hoist the allocation into setup or "
+             "a reused member buffer");
+      continue;
+    }
+    if ((a.is_ident(i, "push_back") || a.is_ident(i, "emplace_back")) &&
+        a.is_punct(i + 1, "(") && i >= 2 &&
+        (a.is_punct(i - 1, ".") || a.is_punct(i - 1, "->")) &&
+        t[i - 2].kind == Token::Kind::kIdent &&
+        !reserved.count(t[i - 2].text)) {
+      a.flag(t[i].line, "hot-alloc",
+             "'" + t[i - 2].text + "." + t[i].text + "' in round-loop "
+             "scope '" + hot_name + "' with no '" + t[i - 2].text +
+             ".reserve' anywhere in this file: growth reallocates in the "
+             "hot path");
+    }
+  }
+}
+
 // ---- suppression comments ----------------------------------------------
 
 /// Parses `// glap-lint: allow(<rule>): <reason>` (and allow-file) out of
@@ -642,8 +755,8 @@ bool is_known_rule(std::string_view name) {
 
 const std::vector<std::string>& trace_event_kinds() {
   static const std::vector<std::string> kKinds = {
-      "migration", "power", "shuffle", "overload", "fault",
-      "round",     "qsim",  "relearn", "shard_bytes"};
+      "migration", "power", "shuffle", "overload",    "fault",
+      "activity",  "round", "qsim",    "relearn",     "shard_bytes"};
   return kKinds;
 }
 
@@ -672,6 +785,7 @@ FileReport lint_source(std::string_view rel_path, std::string_view content) {
   rule_trace_kind(a);
   rule_checks_guard(a);
   rule_float_narrowing(a);
+  rule_hot_alloc(a);
 
   FileReport report;
   std::vector<Finding> malformed;
