@@ -1,0 +1,126 @@
+// Convergence under network adversity (DESIGN.md §13).
+//
+// Sweeps the gossip protocols across network-model variants — the ideal
+// (instantaneous, lossless) transport the rest of the suite uses, the
+// modeled two-tier fabric at healthy defaults, and the same fabric with
+// 0.1% / 1% / 5% per-leg message loss — and reports whether each protocol
+// still consolidates. Gossip is redundant by construction, so GLAP should
+// degrade gracefully: mild loss costs a little convergence speed, not the
+// packing itself. The table feeds the "Convergence under network
+// adversity" section of EXPERIMENTS.md via results/net_adversity.json.
+#include "bench_util.hpp"
+
+using namespace glap;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool enabled;
+  double loss;
+};
+
+const std::vector<Variant>& variants() {
+  static const std::vector<Variant> v{
+      {"ideal (no model)", false, 0.0},
+      {"modeled, lossless", true, 0.0},
+      {"0.1% loss", true, 0.001},
+      {"1% loss", true, 0.01},
+      {"5% loss", true, 0.05},
+  };
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  const harness::BenchScale scale = harness::bench_scale_from_env();
+  bench::print_bench_header("Convergence under network adversity", scale);
+
+  const std::size_t size = scale.sizes.back();
+  const std::size_t ratio = 3;
+  const std::vector<harness::Algorithm> algorithms{
+      harness::Algorithm::kGlap, harness::Algorithm::kGrmp,
+      harness::Algorithm::kEcoCloud};
+  ThreadPool pool;
+
+  std::vector<harness::ExperimentConfig> cells;
+  for (harness::Algorithm algo : algorithms) {
+    for (const Variant& v : variants()) {
+      harness::ExperimentConfig config;
+      config.algorithm = algo;
+      config.pm_count = size;
+      config.vm_ratio = ratio;
+      apply_scale(config, scale);
+      config.network.enabled = v.enabled;
+      config.network.loss_rate = v.loss;
+      cells.push_back(config);
+    }
+  }
+
+  const auto results = harness::run_cells(cells, scale.repetitions, pool);
+
+  ConsoleTable table({"algorithm", "network", "active-pms(mean)",
+                      "final-active", "overloaded(mean)", "migrations",
+                      "delivered%", "dropped(loss)"});
+  std::size_t idx = 0;
+  for (harness::Algorithm algo : algorithms) {
+    for (const Variant& v : variants()) {
+      const auto& cell = results[idx++];
+      const double sends =
+          cell.mean_of([](const harness::RunResult& r) {
+            return static_cast<double>(r.net_sends);
+          });
+      const double delivered =
+          cell.mean_of([](const harness::RunResult& r) {
+            return static_cast<double>(r.net_delivered);
+          });
+      table.add_row(
+          {std::string(to_string(algo)), v.name,
+           format_double(cell.mean_of([](const harness::RunResult& r) {
+             return r.mean_active();
+           }), 1),
+           format_double(cell.mean_of([](const harness::RunResult& r) {
+             return static_cast<double>(r.final_active_pms);
+           }), 1),
+           format_double(cell.mean_of([](const harness::RunResult& r) {
+             return r.mean_overloaded();
+           })),
+           format_double(cell.mean_of([](const harness::RunResult& r) {
+             return static_cast<double>(r.total_migrations);
+           }), 0),
+           sends > 0.0 ? format_double(100.0 * delivered / sends, 2)
+                       : std::string("n/a"),
+           format_double(cell.mean_of([](const harness::RunResult& r) {
+             return static_cast<double>(r.net_dropped_loss);
+           }), 0)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Headline: how much packing quality GLAP gives up at 1% loss, as a
+  // percentage of its loss-free mean active-PM footprint.
+  const double glap_clean =
+      results[0].mean_of([](const harness::RunResult& r) {
+        return r.mean_active();
+      });
+  const double glap_lossy =
+      results[3].mean_of([](const harness::RunResult& r) {
+        return r.mean_active();
+      });
+  harness::BenchReport report("net_adversity",
+                              "Convergence under network adversity");
+  report.set_scale(scale);
+  report.add_table("adversity", table);
+  report.add_headline(
+      "glap_active_pm_cost_at_1pct_loss",
+      format_double(100.0 * (glap_lossy - glap_clean) / glap_clean, 2) + "%");
+  report.write();
+
+  std::printf("\nexpected: GLAP's active-PM footprint and overload control "
+              "degrade only mildly through 1%% loss (gossip redundancy "
+              "re-covers dropped exchanges) and visibly at 5%%; the "
+              "threshold baselines lose proportionally more exchanges "
+              "because a dropped reply abandons the whole round.\n");
+  return 0;
+}

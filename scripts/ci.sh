@@ -51,6 +51,12 @@
 # `glap-trace check`. This is the cheap stand-in for the committed
 # 1k/10k/100k sweep in BENCH_scale.json, which is multi-minute and
 # ~10.9 GiB at the top cell and therefore not rerun by CI.
+#
+# Stage 10 (network smoke, RUN_NET_SMOKE=1 default): a 1k-PM GLAP run
+# with the network model enabled at 1% loss (DESIGN.md §13) must emit
+# "ev":"net" send/deliver/drop events and pass `glap-trace check`,
+# which enforces the net-* invariants (delay arithmetic, terminal
+# uniqueness, drop reasons) over the full message population.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -135,6 +141,24 @@ if [[ "${RUN_SCALE_SMOKE:-1}" == "1" ]]; then
   # park-off-pm) at a scale the unit fixtures don't reach.
   "$GLAP_TRACE" check "$SMOKE_TRACE"
   rm -f "$SMOKE_TRACE"
+fi
+
+if [[ "${RUN_NET_SMOKE:-1}" == "1" ]]; then
+  echo "== network smoke: 1k-PM run with 1% loss + trace check =="
+  GLAP_TRACE=./build-release/tools/glap-trace
+  NET_TRACE=build-release/trace_net_smoke.jsonl
+  "$GLAP_TRACE" gen "$NET_TRACE" --pms 1000 --warmup 40 --rounds 40 \
+    --net --loss 1
+  # The run must actually exercise the model: sends, deliveries, and
+  # loss drops all have to appear before the invariant check means much.
+  for op in '"op":"send"' '"op":"deliver"' '"reason":"loss"'; do
+    if ! grep -q '"ev":"net".*'"$op" "$NET_TRACE"; then
+      echo "network smoke trace has no $op events" >&2
+      exit 1
+    fi
+  done
+  "$GLAP_TRACE" check "$NET_TRACE"
+  rm -f "$NET_TRACE"
 fi
 
 if [[ "${RUN_DOCS_DRIFT:-1}" == "1" ]]; then

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "net/network_model.hpp"
+
 namespace glap::baselines {
 
 namespace {
@@ -98,10 +100,22 @@ std::optional<cloud::PmId> EcoCloudProtocol::probe_place(
     // declared before the is_on check.
     if (declare) declare->add(static_cast<sim::NodeId>(candidate));
     if (!dc_.pm_on(candidate)) continue;
-    if (engine)
+    if (engine) {
       engine->network().count_message(static_cast<sim::NodeId>(source),
                                       static_cast<sim::NodeId>(candidate),
                                       kProbeMsgBytes);
+      // Probe semantics under the network model: a lost or late
+      // probe/reply skips this candidate (the next draw tries another).
+      // Declare-mode dry runs (engine == nullptr) never touch the model.
+      if (net::NetworkModel* net = engine->net_model();
+          net != nullptr &&
+          !net->round_trip(static_cast<sim::NodeId>(source),
+                           static_cast<sim::NodeId>(candidate),
+                           kProbeMsgBytes, kProbeMsgBytes,
+                           net::Channel::kProbe)
+               .ok())
+        continue;
+    }
     const double u = dc_.current_utilization(candidate).max_component();
     if (!rng.bernoulli(acceptance_probability(u, config_))) continue;
     if (!dc_.can_host(candidate, vm)) continue;
@@ -139,9 +153,17 @@ bool EcoCloudProtocol::plan_evacuation(
       if (candidate == source) continue;
       if (declare) declare->add(static_cast<sim::NodeId>(candidate));
       if (!dc_.pm_on(candidate)) continue;
-      if (engine)
+      if (engine) {
         engine->network().count_message(
             self, static_cast<sim::NodeId>(candidate), kProbeMsgBytes);
+        if (net::NetworkModel* net = engine->net_model();
+            net != nullptr &&
+            !net->round_trip(self, static_cast<sim::NodeId>(candidate),
+                             kProbeMsgBytes, kProbeMsgBytes,
+                             net::Channel::kProbe)
+                 .ok())
+          continue;
+      }
       const Resources pm_cap = dc_.pm(candidate).spec().capacity();
       const Resources planned =
           dc_.current_usage(candidate) + reserved[candidate];

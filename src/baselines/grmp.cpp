@@ -1,5 +1,7 @@
 #include "baselines/grmp.hpp"
 
+#include "net/network_model.hpp"
+
 namespace glap::baselines {
 
 namespace {
@@ -75,6 +77,14 @@ void GrmpProtocol::execute(sim::Engine& engine, sim::NodeId self,
       engine.protocol_at<overlay::NeighborProvider>(overlay_slot_, self);
   const auto peer = sampler.sample_active_peer(engine, self);
   if (!peer) return;
+  if (net::NetworkModel* net = engine.net_model()) {
+    // GRMP rounds are self-contained: a lost or late state exchange just
+    // abandons this round's packing attempt.
+    if (!net->round_trip(self, *peer, kStateMsgBytes, kStateMsgBytes,
+                         net::Channel::kConsolidation)
+             .ok())
+      return;
+  }
   engine.network().count_message(self, *peer, kStateMsgBytes);
   engine.network().count_message(*peer, self, kStateMsgBytes);
 

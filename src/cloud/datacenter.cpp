@@ -212,9 +212,13 @@ MigrationRecord DataCenter::migrate(VmId vm_id, PmId to) {
   GLAP_REQUIRE(pm_on_[to] != 0, "migration target is sleeping");
 
   const Resources moving_usage = vm_usage_[vm_id];
-  const double tau = migration_seconds(moving_usage.mem,
-                                       pms_[from].spec().migration_bw_mbps,
-                                       pms_[to].spec().migration_bw_mbps);
+  double tau = migration_seconds(moving_usage.mem,
+                                 pms_[from].spec().migration_bw_mbps,
+                                 pms_[to].spec().migration_bw_mbps);
+  // Under the network model the pre-copy stream shares the fabric with
+  // gossip: queueing behind the current backlog lengthens τ (and thus the
+  // energy integral below).
+  if (migration_network_) tau += migration_network_(from, to, moving_usage.mem);
   const double src_util = std::min(current_utilization(from).cpu, 1.0);
   const double dst_util = std::min(current_utilization(to).cpu, 1.0);
   const double energy = ::glap::cloud::migration_energy_joules(

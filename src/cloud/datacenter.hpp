@@ -232,6 +232,16 @@ class DataCenter {
   /// Pass a null hook to detach.
   void set_wake_hook(WakeHook hook, double demand_epsilon);
 
+  /// Extra migration latency charged by the network model (DESIGN.md
+  /// §13.5): called from migrate() as hook(from, to, mem_mb) and the
+  /// returned seconds are added to τ before the energy integral. The
+  /// harness installs it when `network.migration_contention` is on; a
+  /// null hook (the default) keeps the dedicated-bandwidth τ of §5.
+  using MigrationNetworkHook = std::function<double(PmId, PmId, double)>;
+  void set_migration_network(MigrationNetworkHook hook) {
+    migration_network_ = std::move(hook);
+  }
+
   /// Attaches observability sinks (neither owned; either may be null).
   /// Resolves and caches the DataCenter's instruments — dc.migrations,
   /// dc.power_transitions, dc.migration_tau_s, dc.migration_energy_j —
@@ -301,6 +311,7 @@ class DataCenter {
   std::vector<Resources> vm_capacity_;   // flat copy of spec().capacity()
   std::vector<Resources> vm_wake_ref_;   // last hook-notified fraction
   WakeHook wake_hook_;
+  MigrationNetworkHook migration_network_;
   double demand_epsilon_ = 0.0;
   RelaxedCounter active_pms_;
   bool deferred_accounting_ = false;

@@ -260,11 +260,66 @@ void InvariantChecker::add(const TraceEvent& e, std::size_t line) {
     }
     case EventKind::kFault:
       break;  // semantics land with the fault-injection harness
+    case EventKind::kNet: {
+      const auto& n = e.net;
+      if (n.op == "send") {
+        if (!net_msgs_.emplace(n.msg, NetMsg{e.round, false}).second) {
+          std::ostringstream msg;
+          msg << "msg " << n.msg << " sent twice";
+          report(line, e.round, "net-deliver-unsent", msg.str());
+        }
+      } else if (n.op == "deliver" || n.op == "drop") {
+        const auto it = net_msgs_.find(n.msg);
+        if (it == net_msgs_.end()) {
+          std::ostringstream msg;
+          msg << "net " << n.op << " for msg " << n.msg
+              << " which was never sent";
+          report(line, e.round, "net-deliver-unsent", msg.str());
+        } else {
+          if (it->second.terminal) {
+            std::ostringstream msg;
+            msg << "msg " << n.msg << " already delivered or dropped before "
+                << "this " << n.op;
+            report(line, e.round, "net-terminal-duplicate", msg.str());
+          }
+          it->second.terminal = true;
+          if (n.op == "deliver" &&
+              e.round != it->second.send_round +
+                             static_cast<std::uint64_t>(n.delay)) {
+            std::ostringstream msg;
+            msg << "msg " << n.msg << " sent in round " << it->second.send_round
+                << " with delay " << n.delay << " but delivered in round "
+                << e.round;
+            report(line, e.round, "net-delay-arithmetic", msg.str());
+          }
+          if (n.op == "drop" && e.round != it->second.send_round) {
+            std::ostringstream msg;
+            msg << "msg " << n.msg << " sent in round " << it->second.send_round
+                << " but dropped in round " << e.round
+                << " (drops are decided at send time)";
+            report(line, e.round, "net-delay-arithmetic", msg.str());
+          }
+        }
+        if (n.op == "drop" && n.reason != "loss" && n.reason != "congestion") {
+          std::ostringstream msg;
+          msg << "msg " << n.msg << " dropped with unknown reason '"
+              << n.reason << "' (a drop requires a lossy or congested link)";
+          report(line, e.round, "net-drop-reason", msg.str());
+        }
+      } else if (n.op == "queue") {
+        if (n.link != "access" && n.link != "uplink") {
+          std::ostringstream msg;
+          msg << "net queue line names unknown link kind '" << n.link << "'";
+          report(line, e.round, "net-drop-reason", msg.str());
+        }
+      }
+      break;
+    }
     case EventKind::kActivity: {
       const auto& a = e.activity;
       static const std::set<std::string> kKnownReasons{
           "converged", "gossip",   "demand",  "migration",
-          "status",    "schedule", "relearn"};
+          "status",    "schedule", "relearn", "network"};
       if (kKnownReasons.count(a.reason) == 0) {
         std::ostringstream msg;
         msg << "pm " << a.pm << " activity event has unknown reason '"
@@ -372,6 +427,12 @@ void StatsCollector::add(const TraceEvent& e) {
       break;
     case EventKind::kOverload:
       stats_.overload_cpu.push_back(e.overload.cpu);
+      break;
+    case EventKind::kNet:
+      if (e.net.op == "send")
+        stats_.net_send_bytes.push_back(static_cast<double>(e.net.bytes));
+      else if (e.net.op == "deliver")
+        stats_.net_deliver_delay.push_back(static_cast<double>(e.net.delay));
       break;
     case EventKind::kQsim:
       stats_.qsim_similarity.push_back(e.qsim.similarity);

@@ -144,6 +144,15 @@ struct Violation {
 ///                            a node before any lifecycle transition)
 ///   activity-reason          parking carries reason "converged"; wakes
 ///                            carry any other known sim::WakeReason name
+///   net-deliver-unsent       a deliver/drop references a msg id with no
+///                            prior send (no deliver-before-send)
+///   net-delay-arithmetic     deliver.round == send.round + deliver.delay
+///   net-terminal-duplicate   at most one terminal (deliver or drop) per
+///                            msg id — a message cannot be both delivered
+///                            and dropped
+///   net-drop-reason          drops carry reason "loss" or "congestion"
+///                            (a drop requires a lossy or congested link);
+///                            queue lines name link "access" or "uplink"
 class InvariantChecker {
  public:
   struct Options {
@@ -218,6 +227,14 @@ class InvariantChecker {
   std::uint64_t migrations_this_round_ = 0;
   std::uint64_t migration_round_ = 0;
   std::int64_t net_power_delta_ = 0;  ///< since the last summary
+
+  /// Network-model message ledger: send round + whether a terminal event
+  /// (deliver or drop) has been seen, keyed by msg id.
+  struct NetMsg {
+    std::uint64_t send_round = 0;
+    bool terminal = false;
+  };
+  std::map<std::int64_t, NetMsg> net_msgs_;
 };
 
 // ---- statistics ---------------------------------------------------------
@@ -232,6 +249,8 @@ struct TraceStats {
   std::vector<double> migration_cpu;
   std::vector<double> migration_energy_j;
   std::vector<double> shuffle_sent;
+  std::vector<double> net_send_bytes;     ///< payload of "send" events
+  std::vector<double> net_deliver_delay;  ///< rounds late per "deliver"
   std::vector<double> overload_cpu;
   std::vector<double> qsim_similarity;
   std::vector<double> round_active_pms;

@@ -272,6 +272,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kOverload: return "overload";
     case EventKind::kFault: return "fault";
     case EventKind::kActivity: return "activity";
+    case EventKind::kNet: return "net";
     case EventKind::kRound: return "round";
     case EventKind::kQsim: return "qsim";
     case EventKind::kRelearn: return "relearn";
@@ -345,6 +346,34 @@ bool parse_trace_line(std::string_view line, TraceEvent* out,
       fields.require_i64("pm", &parsed.activity.pm);
       fields.require_bool("awake", &parsed.activity.awake);
       fields.require_string("reason", &parsed.activity.reason);
+      break;
+    case EventKind::kNet:
+      fields.require_string("op", &parsed.net.op);
+      if (parsed.net.op == "send") {
+        fields.require_i64("src", &parsed.net.src);
+        fields.require_i64("dst", &parsed.net.dst);
+        fields.require_i64("msg", &parsed.net.msg);
+        fields.require_i64("bytes", &parsed.net.bytes);
+        fields.require_string("channel", &parsed.net.channel);
+      } else if (parsed.net.op == "deliver") {
+        fields.require_i64("src", &parsed.net.src);
+        fields.require_i64("dst", &parsed.net.dst);
+        fields.require_i64("msg", &parsed.net.msg);
+        fields.require_i64("delay", &parsed.net.delay);
+      } else if (parsed.net.op == "drop") {
+        fields.require_i64("src", &parsed.net.src);
+        fields.require_i64("dst", &parsed.net.dst);
+        fields.require_i64("msg", &parsed.net.msg);
+        fields.require_string("reason", &parsed.net.reason);
+      } else if (parsed.net.op == "queue") {
+        fields.require_string("link", &parsed.net.link);
+        fields.require_i64("id", &parsed.net.link_id);
+        fields.require_i64("bytes", &parsed.net.bytes);
+      } else if (!parsed.net.op.empty()) {
+        if (error != nullptr && error->empty())
+          *error = "unknown net op '" + parsed.net.op + "'";
+        return false;
+      }
       break;
     case EventKind::kRound:
       fields.require_u64("active_pms", &parsed.summary.active_pms);

@@ -28,13 +28,14 @@ enum class EventKind : std::uint8_t {
   kOverload,
   kFault,
   kActivity,    ///< quiescence transition (event/quiescence engine)
+  kNet,         ///< network-model send/deliver/drop/queue (DESIGN.md §13)
   kRound,       ///< per-round aggregate summary
   kQsim,        ///< Q-table cosine-similarity probe
   kRelearn,     ///< GLAP re-learning trigger
   kShardBytes,  ///< opt-in per-shard byte breakdown (non-deterministic)
 };
 
-inline constexpr std::size_t kEventKindCount = 10;
+inline constexpr std::size_t kEventKindCount = 11;
 
 /// The JSONL "ev" value for a kind ("migration", "round", ...).
 [[nodiscard]] const char* event_kind_name(EventKind k);
@@ -80,6 +81,23 @@ struct TraceEvent {
     bool awake = false;  ///< false = parked (quiesced), true = re-activated
     std::string reason;  ///< sim::WakeReason name ("converged", "gossip", ...)
   } activity;
+  /// One network-model event; which fields carry data depends on `op`:
+  ///   "send"    src, dst, msg, bytes, channel
+  ///   "deliver" src, dst, msg, delay
+  ///   "drop"    src, dst, msg, reason ("loss" | "congestion")
+  ///   "queue"   link ("access" | "uplink"), link_id, bytes
+  struct Net {
+    std::string op;
+    std::int64_t src = 0;
+    std::int64_t dst = 0;
+    std::int64_t msg = 0;
+    std::int64_t bytes = 0;
+    std::int64_t delay = 0;
+    std::string reason;
+    std::string channel;
+    std::string link;
+    std::int64_t link_id = 0;
+  } net;
   struct RoundSummary {
     std::uint64_t active_pms = 0;
     std::uint64_t overloaded_pms = 0;

@@ -15,6 +15,7 @@ const char* kind_name(Kind k) {
     case Kind::kOverload: return "overload";
     case Kind::kFault: return "fault";
     case Kind::kActivity: return "activity";
+    case Kind::kNet: return "net";
   }
   return "?";
 }
@@ -28,9 +29,36 @@ const char* activity_reason_name(std::int64_t code) {
     case 4: return "status";
     case 5: return "schedule";
     case 6: return "relearn";
+    case 7: return "network";
   }
   return "?";
 }
+
+namespace {
+/// Channel codes mirror net::Channel in declaration order (the net model
+/// is a downstream library, so the mapping is pinned here and in
+/// tests/common/test_tracing.cpp rather than shared via an include).
+const char* net_channel_name(std::int64_t code) {
+  switch (code) {
+    case 0: return "shuffle";
+    case 1: return "learning";
+    case 2: return "aggregation";
+    case 3: return "consolidation";
+    case 4: return "probe";
+    case 5: return "migration";
+  }
+  return "?";
+}
+
+/// Drop-reason codes mirror net::DropReason (1 loss, 2 congestion).
+const char* net_drop_reason_name(std::int64_t code) {
+  switch (code) {
+    case 1: return "loss";
+    case 2: return "congestion";
+  }
+  return "?";
+}
+}  // namespace
 
 void TraceLog::render(const Event& e) {
   out_ << "{\"ev\":\"" << kind_name(e.kind) << "\",\"round\":" << round_;
@@ -57,6 +85,27 @@ void TraceLog::render(const Event& e) {
     case Kind::kActivity:
       out_ << ",\"pm\":" << e.a << ",\"awake\":" << (e.b ? "true" : "false")
            << ",\"reason\":\"" << activity_reason_name(e.c) << '"';
+      break;
+    case Kind::kNet:
+      switch (e.a) {
+        case 0:
+          out_ << ",\"op\":\"send\",\"src\":" << e.b << ",\"dst\":" << e.c
+               << ",\"msg\":" << e.d
+               << ",\"bytes\":" << static_cast<std::int64_t>(e.x)
+               << ",\"channel\":\""
+               << net_channel_name(static_cast<std::int64_t>(e.y)) << '"';
+          break;
+        case 1:
+          out_ << ",\"op\":\"deliver\",\"src\":" << e.b << ",\"dst\":" << e.c
+               << ",\"msg\":" << e.d
+               << ",\"delay\":" << static_cast<std::int64_t>(e.x);
+          break;
+        default:
+          out_ << ",\"op\":\"drop\",\"src\":" << e.b << ",\"dst\":" << e.c
+               << ",\"msg\":" << e.d << ",\"reason\":\""
+               << net_drop_reason_name(static_cast<std::int64_t>(e.x)) << '"';
+          break;
+      }
       break;
   }
   out_ << "}\n";
@@ -101,6 +150,13 @@ void TraceLog::overload(std::uint64_t round, std::int64_t pm, double cpu) {
 
 void TraceLog::relearn(std::uint64_t round) {
   out_ << "{\"ev\":\"relearn\",\"round\":" << round << "}\n";
+}
+
+void TraceLog::net_queue(std::uint64_t round, const char* link,
+                         std::int64_t id, std::uint64_t backlog_bytes) {
+  out_ << "{\"ev\":\"net\",\"round\":" << round << ",\"op\":\"queue\",\"link\":\""
+       << link << "\",\"id\":" << id << ",\"bytes\":" << backlog_bytes
+       << "}\n";
 }
 
 void TraceLog::shard_bytes(std::uint64_t round,

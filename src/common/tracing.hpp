@@ -37,6 +37,11 @@ enum class Kind : std::uint8_t {
   kActivity,     // a=pm, b=awake(0/1), c=reason code — quiescence
                  // transition under the event/quiescence engine
                  // (DESIGN.md §12); reason codes mirror sim::WakeReason
+  kNet,          // network-model event (DESIGN.md §13): a=op (0 send,
+                 // 1 deliver, 2 drop), b=src pm, c=dst pm, d=msg id,
+                 // x=bytes|delay|drop-reason code, y=channel code; the
+                 // driver-only queue-depth line ("op":"queue") bypasses
+                 // the buffers via net_queue()
 };
 
 [[nodiscard]] const char* kind_name(Kind k);
@@ -86,6 +91,13 @@ class TraceLog {
 
   /// GLAP re-learning trigger ("ev":"relearn").
   void relearn(std::uint64_t round);
+
+  /// Network queue-depth line ("ev":"net","op":"queue"): the backlog of
+  /// one link at the end of a round. `link` is "access" or "uplink", `id`
+  /// the PM or rack index. Driver-only; the harness scans links in id
+  /// order at the quiescent point, so the lines are deterministic.
+  void net_queue(std::uint64_t round, const char* link, std::int64_t id,
+                 std::uint64_t backlog_bytes);
 
   /// Opt-in per-shard network byte breakdown ("ev":"shard_bytes").
   /// Execution-dependent — which shard counted a message depends on thread

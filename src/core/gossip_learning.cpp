@@ -1,6 +1,7 @@
 #include "core/gossip_learning.hpp"
 
 #include "common/metrics.hpp"
+#include "net/network_model.hpp"
 
 namespace glap::core {
 
@@ -92,6 +93,14 @@ void GossipLearningProtocol::execute(sim::Engine& engine, sim::NodeId self,
       ctr_merge_ = m->counter("learning.merges");
     }
   }
+  // A deferred push-pull comes due before anything else this round; its
+  // reply was on the wire, so it completes even if the phase has since
+  // advanced (the merge is idempotent knowledge transfer).
+  if (pending_.active && engine.current_round() >= pending_.due) {
+    complete_pending(engine, self);
+    ++cycles_;
+    return;
+  }
   const Phase current = phase();
   ++cycles_;
   switch (current) {
@@ -122,10 +131,20 @@ void GossipLearningProtocol::learning_cycle(sim::Engine& engine,
     auto& remote = engine.protocol_at<GossipLearningProtocol>(self_slot_,
                                                               *peer);
     remote.shared_profiles(*peer, &scratch_remote_);
-    engine.network().count_message(*peer, self,
-                                   scratch_remote_.size() * kProfileBytes);
-    scratch_pool_.insert(scratch_pool_.end(), scratch_remote_.begin(),
-                         scratch_remote_.end());
+    // Profile freshness matters (they feed this round's training batch),
+    // so a lost or late fetch is simply skipped: train on the local pool.
+    bool fetched = true;
+    if (net::NetworkModel* net = engine.net_model())
+      fetched = net->round_trip(self, *peer, kQEntryBytes,
+                                scratch_remote_.size() * kProfileBytes,
+                                net::Channel::kLearning)
+                    .ok();
+    if (fetched) {
+      engine.network().count_message(*peer, self,
+                                     scratch_remote_.size() * kProfileBytes);
+      scratch_pool_.insert(scratch_pool_.end(), scratch_remote_.begin(),
+                           scratch_remote_.end());
+    }
   }
   trainer_.grow_pool(scratch_pool_);
   trainer_.train_round(scratch_pool_, tables_);
@@ -142,6 +161,21 @@ void GossipLearningProtocol::aggregation_cycle(sim::Engine& engine,
   auto& remote =
       engine.protocol_at<GossipLearningProtocol>(self_slot_, *peer);
 
+  if (net::NetworkModel* net = engine.net_model()) {
+    const net::Verdict verdict = net->round_trip(
+        self, *peer, tables_.size() * kQEntryBytes,
+        remote.tables_.size() * kQEntryBytes, net::Channel::kAggregation);
+    if (verdict.outcome == net::Verdict::Outcome::kDropped)
+      return;  // lost on the wire: neither side merges this cycle
+    if (verdict.outcome == net::Verdict::Outcome::kDelayed) {
+      // The reply is in flight; merge when it lands (DESIGN.md §13.4).
+      pending_ = {true, *peer, engine.current_round() + verdict.delay,
+                  verdict.msg_id, verdict.delay};
+      engine.schedule_wake(self, pending_.due, sim::WakeReason::kNetwork);
+      return;
+    }
+  }
+
   engine.network().count_message(self, *peer,
                                  tables_.size() * kQEntryBytes);
   engine.network().count_message(*peer, self,
@@ -157,6 +191,32 @@ void GossipLearningProtocol::aggregation_cycle(sim::Engine& engine,
   // The push-pull rewrote the peer's tables: that is incoming gossip for
   // a parked peer, so re-activate it (no-op unless quiescent).
   engine.wake(*peer, sim::WakeReason::kGossip);
+}
+
+void GossipLearningProtocol::complete_pending(sim::Engine& engine,
+                                              sim::NodeId self) {
+  const PendingExchange pending = pending_;
+  pending_ = {};
+  net::NetworkModel* net = engine.net_model();
+  GLAP_ASSERT(net != nullptr, "pending exchange without a network model");
+  // Report the actual rounds-in-flight: a node that slept past its due
+  // round picks the reply up late, and the trace must say so (the checker
+  // pins deliver.round == send.round + delay).
+  const sim::Round send_round = pending.due - pending.delay;
+  net->deliver_deferred(self, pending.partner, pending.msg_id,
+                        engine.current_round() - send_round);
+  // The merge uses delivery-time state: tables on both sides may have
+  // moved since the send — exactly the staleness a slow network causes.
+  auto& remote =
+      engine.protocol_at<GossipLearningProtocol>(self_slot_, pending.partner);
+  engine.network().count_message(self, pending.partner,
+                                 tables_.size() * kQEntryBytes);
+  engine.network().count_message(pending.partner, self,
+                                 remote.tables_.size() * kQEntryBytes);
+  tables_.merge_average(remote.tables_);
+  remote.tables_ = tables_;
+  if (ctr_merge_ != nullptr) ctr_merge_->inc();
+  engine.wake(pending.partner, sim::WakeReason::kGossip);
 }
 
 }  // namespace glap::core

@@ -13,6 +13,7 @@
 #include "baselines/pabfd.hpp"
 #include "cloud/datacenter.hpp"
 #include "core/config.hpp"
+#include "net/network_model.hpp"
 #include "overlay/cyclon.hpp"
 #include "overlay/newscast.hpp"
 #include "trace/google_synth.hpp"
@@ -185,6 +186,13 @@ struct ExperimentConfig {
   std::size_t convergence_pairs = 128;
 
   ObservabilityConfig observability;
+
+  /// Message-level network model (DESIGN.md §13). Off by default: gossip
+  /// then completes instantaneously as in the paper's evaluation. When
+  /// network.enabled, exchanges route over the rack fabric (latency,
+  /// bandwidth, loss, ToR contention) and the run requires
+  /// engine_threads == 1 (serial or event engine).
+  net::NetworkConfig network;
 
   cloud::DataCenterConfig datacenter;
   FleetMix fleet;

@@ -49,6 +49,14 @@ struct RunResult {
   /// topology is disabled.
   double switch_energy_j = 0.0;
 
+  // Network-model totals (DESIGN.md §13; all 0 when network.enabled is
+  // off). Counts cover warmup + evaluation — every admitted round-trip.
+  std::uint64_t net_sends = 0;
+  std::uint64_t net_delivered = 0;           ///< same-round deliveries
+  std::uint64_t net_delayed = 0;             ///< deferred ≥1 round
+  std::uint64_t net_dropped_loss = 0;        ///< random loss drops
+  std::uint64_t net_dropped_congestion = 0;  ///< queue-overflow drops
+
   [[nodiscard]] double mean_active_racks() const {
     RunningStats st;
     for (const auto& s : rounds) st.add(s.active_racks);

@@ -149,6 +149,30 @@ RunResult run_experiment(const ExperimentConfig& config) {
     topology.emplace(config.pm_count, config.rack_size,
                      config.rack_switch_watts);
 
+  // --- Network model (DESIGN.md §13) -------------------------------------
+  // Message admission decisions depend on executed interaction order, which
+  // the wave-parallel engine reorders; serial and event engines share the
+  // same order, so those two are the supported pair.
+  std::optional<net::NetworkModel> net_model;
+  if (config.network.enabled) {
+    GLAP_REQUIRE(config.engine_threads == 1,
+                 "network model requires engine_threads == 1 "
+                 "(serial or event engine)");
+    const std::size_t net_rack = config.rack_size > 0
+                                     ? config.rack_size
+                                     : config.network.default_rack_size;
+    net_model.emplace(config.pm_count, net_rack, config.network,
+                      config.datacenter.round_seconds, config.seed);
+    engine.set_net_model(&*net_model);
+    if (config.network.migration_contention)
+      dc.set_migration_network([&net_model](cloud::PmId from, cloud::PmId to,
+                                            double mem_mb) {
+        return net_model->migration_delay_seconds(
+            static_cast<sim::NodeId>(from), static_cast<sim::NodeId>(to),
+            mem_mb);
+      });
+  }
+
   // --- Observability -----------------------------------------------------
   // Sinks attach BEFORE protocol install so instrumented code resolves its
   // instruments from a registry that exists for the whole run. Off by
@@ -179,6 +203,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
   trace::TraceLog* trace = trace_log ? &*trace_log : nullptr;
   engine.set_telemetry(registry.get(), trace);
   dc.set_telemetry(registry.get(), trace);
+  if (net_model) net_model->set_telemetry(registry.get(), trace);
   std::unique_ptr<prof::PhaseProfiler> profiler;
   if (obs.profile) {
     profiler = std::make_unique<prof::PhaseProfiler>();
@@ -342,6 +367,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
     advance_demands();
     if (!baseline_idles_in_warmup) {
       if (trace != nullptr) trace->begin_round(engine.current_round());
+      if (net_model) net_model->begin_round(engine.current_round());
       engine.step();
       {
         prof::PhaseScope timer(profiler.get(), prof::PhaseProfiler::kCommit);
@@ -379,6 +405,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
     // and engine-phase events must not share a sort batch, because the
     // driver context's tags are not part of the determinism contract.
     if (trace != nullptr) trace->commit_round();
+    if (net_model) net_model->begin_round(round);
     engine.step();
     {
       prof::PhaseScope timer(profiler.get(), prof::PhaseProfiler::kCommit);
@@ -426,6 +453,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
                           dc.current_utilization(p).cpu);
       if (obs.trace_shard_detail)
         trace->shard_bytes(round, engine.network().bytes_per_shard());
+      if (net_model) net_model->trace_queue_depths(round);
     }
     prev_messages = messages;
     prev_bytes = bytes;
@@ -456,6 +484,15 @@ RunResult run_experiment(const ExperimentConfig& config) {
       static_cast<std::uint32_t>(dc.overloaded_pm_count());
   result.final_bfd_bins =
       static_cast<std::uint32_t>(baselines::bfd_bin_count(dc));
+
+  if (net_model) {
+    const net::NetworkModel::Totals& net_totals = net_model->totals();
+    result.net_sends = net_totals.sends;
+    result.net_delivered = net_totals.delivered;
+    result.net_delayed = net_totals.delayed;
+    result.net_dropped_loss = net_totals.dropped_loss;
+    result.net_dropped_congestion = net_totals.dropped_congestion;
+  }
 
   if (profiler) {
     result.profile = profiler->totals();

@@ -4,6 +4,7 @@
 
 #include "common/metrics.hpp"
 #include "common/tracing.hpp"
+#include "net/network_model.hpp"
 
 namespace glap::overlay {
 
@@ -209,6 +210,15 @@ void CyclonProtocol::execute(sim::Engine& engine, sim::NodeId self,
       // Self-healing: a dead oldest neighbor is simply discarded.
       cache_.erase(cache_.begin() + static_cast<std::ptrdiff_t>(*oldest));
       continue;
+    }
+    if (net::NetworkModel* net = engine.net_model()) {
+      // A shuffle is only useful fresh: a lost or late round-trip simply
+      // times out and the node retries next round (membership
+      // self-heals), before any cache entry has been moved.
+      const std::size_t wire = config_.shuffle_length * kEntryBytes;
+      if (!net->round_trip(self, peer, wire, wire, net::Channel::kShuffle)
+               .ok())
+        return;
     }
     take_random_subset(config_.shuffle_length - 1, std::nullopt,
                        scratch_sent_);

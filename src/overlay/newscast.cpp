@@ -4,6 +4,7 @@
 
 #include "common/metrics.hpp"
 #include "common/tracing.hpp"
+#include "net/network_model.hpp"
 
 namespace glap::overlay {
 
@@ -141,6 +142,14 @@ void NewscastProtocol::execute(sim::Engine& engine, sim::NodeId self,
     if (!engine.is_active(peer)) {
       cache_.erase(cache_.begin() + static_cast<std::ptrdiff_t>(idx));
       continue;
+    }
+    if (net::NetworkModel* net = engine.net_model()) {
+      // Like Cyclon: exchanges are freshness-bound, so a lost or delayed
+      // round-trip just times the exchange out until next round.
+      const std::size_t wire = (cache_.size() + 1) * kItemBytes;
+      if (!net->round_trip(self, peer, wire, wire, net::Channel::kShuffle)
+               .ok())
+        return;
     }
     std::vector<Item> outgoing = cache_;
     outgoing.push_back({self, now});

@@ -88,6 +88,9 @@ class PhaseProfiler;
 namespace glap::trace {
 class TraceLog;
 }
+namespace glap::net {
+class NetworkModel;
+}
 
 namespace glap::sim {
 
@@ -322,6 +325,17 @@ class Engine {
   }
   [[nodiscard]] trace::TraceLog* trace_log() const noexcept { return trace_; }
 
+  /// Attaches the message-level network model (not owned; null = the
+  /// ideal instantaneous network, which is the default). Protocols read
+  /// it through net_model() and must treat null as "always delivered".
+  /// The harness only installs it under the serial or event engine — the
+  /// wave-parallel executed order is not the serial order, which the
+  /// model's msg-id-indexed loss decisions rely on (DESIGN.md §13.3).
+  void set_net_model(net::NetworkModel* net) noexcept { net_model_ = net; }
+  [[nodiscard]] net::NetworkModel* net_model() const noexcept {
+    return net_model_;
+  }
+
   /// Attaches the per-phase profiler (not owned; null = disabled, which
   /// costs two predictable branches per instrumented scope). Per-slot
   /// execute bodies and the wave select phase are timed; phases beyond
@@ -451,6 +465,7 @@ class Engine {
   metrics::MetricsRegistry* metrics_ = nullptr;
   trace::TraceLog* trace_ = nullptr;
   prof::PhaseProfiler* profiler_ = nullptr;
+  net::NetworkModel* net_model_ = nullptr;
   Rng rng_;
   std::uint64_t order_seed_;
   Round round_ = 0;

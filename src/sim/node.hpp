@@ -41,6 +41,7 @@ enum class WakeReason : std::uint8_t {
   kStatus,     ///< lifecycle transition (sleep/wake/fail)
   kSchedule,   ///< round-indexed re-check fired (Engine::schedule_wake)
   kRelearn,    ///< fleet-wide re-learning trigger
+  kNetwork,    ///< a delayed network delivery came due (DESIGN.md §13)
 };
 
 [[nodiscard]] constexpr const char* to_string(WakeReason r) noexcept {
@@ -59,6 +60,8 @@ enum class WakeReason : std::uint8_t {
       return "schedule";
     case WakeReason::kRelearn:
       return "relearn";
+    case WakeReason::kNetwork:
+      return "network";
   }
   return "?";
 }

@@ -350,6 +350,101 @@ TEST(Invariants, ActivityParkOnPoweredOffPm) {
                 "activity-park-off-pm");
 }
 
+// ---- Network-model events (DESIGN.md §13) -------------------------------
+
+TraceEvent net_send(std::uint64_t round, std::int64_t msg,
+                    std::int64_t src = 0, std::int64_t dst = 1,
+                    std::int64_t bytes = 128) {
+  TraceEvent e;
+  e.kind = EventKind::kNet;
+  e.round = round;
+  e.net.op = "send";
+  e.net.src = src;
+  e.net.dst = dst;
+  e.net.msg = msg;
+  e.net.bytes = bytes;
+  e.net.channel = "shuffle";
+  return e;
+}
+
+TraceEvent net_deliver(std::uint64_t round, std::int64_t msg,
+                       std::int64_t delay = 0) {
+  TraceEvent e;
+  e.kind = EventKind::kNet;
+  e.round = round;
+  e.net.op = "deliver";
+  e.net.src = 0;
+  e.net.dst = 1;
+  e.net.msg = msg;
+  e.net.delay = delay;
+  return e;
+}
+
+TraceEvent net_drop(std::uint64_t round, std::int64_t msg,
+                    const char* reason = "loss") {
+  TraceEvent e;
+  e.kind = EventKind::kNet;
+  e.round = round;
+  e.net.op = "drop";
+  e.net.src = 0;
+  e.net.dst = 1;
+  e.net.msg = msg;
+  e.net.reason = reason;
+  return e;
+}
+
+TEST(Invariants, NetSendDeliverDropLifecyclesPass) {
+  EXPECT_TRUE(check({net_send(0, 1), net_deliver(0, 1, 0),  // same round
+                     net_send(0, 2), net_drop(0, 2),        // lost at send
+                     net_send(1, 3), net_deliver(3, 3, 2)}) // deferred
+                  .empty());
+}
+
+TEST(Invariants, NetDeliverWithoutSend) {
+  expect_single(check({net_deliver(2, 9)}), "net-deliver-unsent");
+}
+
+TEST(Invariants, NetDuplicateSend) {
+  expect_single(check({net_send(0, 4), net_send(1, 4)}), "net-deliver-unsent");
+}
+
+TEST(Invariants, NetSecondTerminalForOneMessage) {
+  expect_single(check({net_send(0, 5), net_deliver(0, 5, 0),
+                       net_deliver(1, 5, 1)}),
+                "net-terminal-duplicate");
+}
+
+TEST(Invariants, NetDelayArithmeticMustHold) {
+  // Sent round 1 with delay 2 but delivered round 2.
+  expect_single(check({net_send(1, 6), net_deliver(2, 6, 2)}),
+                "net-delay-arithmetic");
+  // Drops are decided at send time; a later drop round is a lie.
+  expect_single(check({net_send(1, 7), net_drop(3, 7)}),
+                "net-delay-arithmetic");
+}
+
+TEST(Invariants, NetDropNeedsLossyOrCongestedLink) {
+  expect_single(check({net_send(0, 8), net_drop(0, 8, "gremlins")}),
+                "net-drop-reason");
+}
+
+TEST(Invariants, NetQueueLinkMustBeAccessOrUplink) {
+  TraceEvent q;
+  q.kind = EventKind::kNet;
+  q.round = 0;
+  q.net.op = "queue";
+  q.net.link = "warp-conduit";
+  q.net.link_id = 0;
+  q.net.bytes = 10;
+  expect_single(check({q}), "net-drop-reason");
+}
+
+TEST(Invariants, NetworkWakeReasonIsAccepted) {
+  EXPECT_TRUE(check({activity(1, 3, false, "converged"),
+                     activity(4, 3, true, "network")})
+                  .empty());
+}
+
 TEST(Invariants, FaultEventsAreAcceptedUnchecked) {
   TraceEvent fault;
   fault.kind = EventKind::kFault;
@@ -397,6 +492,22 @@ TEST(Stats, CountsAndSeries) {
   EXPECT_EQ(stats.round_active_pms[0], 10.0);
   ASSERT_EQ(stats.overload_cpu.size(), 1u);
   EXPECT_EQ(stats.overload_cpu[0], 1.25);
+}
+
+TEST(Stats, NetSeriesCollectBytesAndDelay) {
+  StatsCollector collector;
+  collector.add(net_send(0, 1, 0, 1, 512));
+  collector.add(net_deliver(2, 1, 2));
+  collector.add(net_send(2, 2, 0, 1, 64));
+  collector.add(net_drop(2, 2));
+
+  const TraceStats& stats = collector.stats();
+  EXPECT_EQ(stats.counts[static_cast<std::size_t>(EventKind::kNet)], 4u);
+  ASSERT_EQ(stats.net_send_bytes.size(), 2u);
+  EXPECT_EQ(stats.net_send_bytes[0], 512.0);
+  EXPECT_EQ(stats.net_send_bytes[1], 64.0);
+  ASSERT_EQ(stats.net_deliver_delay.size(), 1u);
+  EXPECT_EQ(stats.net_deliver_delay[0], 2.0);
 }
 
 }  // namespace

@@ -120,6 +120,59 @@ TEST(ParseTraceLine, ActivityFieldExact) {
   EXPECT_EQ(woke.activity.reason, "demand");
 }
 
+TEST(ParseTraceLine, NetFieldExact) {
+  // op codes: 0 send, 1 deliver, anything else drop (reason in x).
+  const TraceEvent send =
+      round_trip_buffered(Kind::kNet, 0, 5, 37, 123, 256.0, 2.0, 14);
+  ASSERT_EQ(send.kind, EventKind::kNet);
+  EXPECT_EQ(send.net.op, "send");
+  EXPECT_EQ(send.net.src, 5);
+  EXPECT_EQ(send.net.dst, 37);
+  EXPECT_EQ(send.net.msg, 123);
+  EXPECT_EQ(send.net.bytes, 256);
+  EXPECT_EQ(send.net.channel, "aggregation");
+
+  const TraceEvent deliver =
+      round_trip_buffered(Kind::kNet, 1, 5, 37, 123, 3.0, 0.0, 17);
+  EXPECT_EQ(deliver.net.op, "deliver");
+  EXPECT_EQ(deliver.net.msg, 123);
+  EXPECT_EQ(deliver.net.delay, 3);
+
+  const TraceEvent loss =
+      round_trip_buffered(Kind::kNet, 2, 5, 37, 124, 1.0, 0.0, 14);
+  EXPECT_EQ(loss.net.op, "drop");
+  EXPECT_EQ(loss.net.reason, "loss");
+  const TraceEvent congestion =
+      round_trip_buffered(Kind::kNet, 2, 5, 37, 125, 2.0, 0.0, 14);
+  EXPECT_EQ(congestion.net.reason, "congestion");
+}
+
+TEST(ParseTraceLine, NetQueueDirectLineFieldExact) {
+  std::ostringstream out;
+  TraceLog log(out);
+  log.net_queue(21, "uplink", 3, 65536);
+
+  TraceEvent e;
+  std::string error;
+  const std::string line = out.str().substr(0, out.str().size() - 1);
+  ASSERT_TRUE(parse_trace_line(line, &e, &error)) << line << ": " << error;
+  ASSERT_EQ(e.kind, EventKind::kNet);
+  EXPECT_EQ(e.round, 21u);
+  EXPECT_EQ(e.net.op, "queue");
+  EXPECT_EQ(e.net.link, "uplink");
+  EXPECT_EQ(e.net.link_id, 3);
+  EXPECT_EQ(e.net.bytes, 65536);
+}
+
+TEST(ParseTraceLine, UnknownNetOpIsAnError) {
+  TraceEvent e;
+  std::string error;
+  EXPECT_FALSE(parse_trace_line(
+      R"({"ev":"net","round":1,"op":"teleport","src":0,"dst":1,"msg":9})", &e,
+      &error));
+  EXPECT_NE(error.find("net op"), std::string::npos) << error;
+}
+
 TEST(ParseTraceLine, DriverDirectLinesFieldExact) {
   std::ostringstream out;
   TraceLog log(out);

@@ -31,11 +31,11 @@ TEST(KindName, NamesAllKinds) {
 // (the engine emits `static_cast<int64_t>(reason)`), so the two name
 // tables must agree code for code.
 TEST(ActivityReasonNames, PinnedToWakeReasonCodes) {
-  for (std::int64_t code = 0; code <= 6; ++code)
+  for (std::int64_t code = 0; code <= 7; ++code)
     EXPECT_STREQ(activity_reason_name(code),
                  to_string(static_cast<sim::WakeReason>(code)))
         << "code " << code;
-  EXPECT_STREQ(activity_reason_name(7), "?");
+  EXPECT_STREQ(activity_reason_name(8), "?");
   EXPECT_STREQ(activity_reason_name(-1), "?");
 }
 

@@ -157,5 +157,78 @@ TEST(Determinism, ParallelRunIsReproducible) {
   expect_identical(a, b, "repeat");
 }
 
+// ---- Network model (DESIGN.md §13.3) ------------------------------------
+// Message ids — and with them every loss decision and queueing outcome —
+// are assigned in executed interaction order, which the serial and event
+// engines share. The contract extends expect_identical with the
+// network-model totals.
+
+void expect_identical_net(const RunResult& a, const RunResult& b,
+                          const char* what) {
+  expect_identical(a, b, what);
+  EXPECT_EQ(a.net_sends, b.net_sends) << what;
+  EXPECT_EQ(a.net_delivered, b.net_delivered) << what;
+  EXPECT_EQ(a.net_delayed, b.net_delayed) << what;
+  EXPECT_EQ(a.net_dropped_loss, b.net_dropped_loss) << what;
+  EXPECT_EQ(a.net_dropped_congestion, b.net_dropped_congestion) << what;
+}
+
+class NetworkDeterminismTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(NetworkDeterminismTest, EventEngineMatchesSerialWithNetworkAndLoss) {
+  ExperimentConfig config = small_config(GetParam());
+  config.network.enabled = true;
+  config.network.loss_rate = 0.01;
+  const RunResult serial = run_experiment(config);
+  EXPECT_GT(serial.net_sends, 0u) << "network model saw no traffic";
+
+  config.event_engine = true;
+  const RunResult event = run_experiment(config);
+  expect_identical_net(serial, event, "event+network");
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, NetworkDeterminismTest,
+                         ::testing::Values(Algorithm::kGlap, Algorithm::kGrmp,
+                                           Algorithm::kEcoCloud),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Determinism, NetworkRunIsReproducible) {
+  ExperimentConfig config = small_config(Algorithm::kGlap);
+  config.network.enabled = true;
+  config.network.loss_rate = 0.01;
+  const RunResult a = run_experiment(config);
+  const RunResult b = run_experiment(config);
+  expect_identical_net(a, b, "repeat+network");
+  EXPECT_GT(a.net_dropped_loss, 0u) << "1% loss never fired";
+}
+
+TEST(Determinism, NetworkModelRejectsWaveParallelEngine) {
+  ExperimentConfig config = small_config(Algorithm::kGlap);
+  config.network.enabled = true;
+  config.engine_threads = 2;
+  EXPECT_THROW(run_experiment(config), precondition_error);
+}
+
+TEST(Determinism, EventEngineMatchesSerialWithNetworkAndQuiescence) {
+  // Quiescence + network exercises the deferred-exchange machinery: a
+  // delayed reply must block the initiator's park vote and the kNetwork
+  // wake must fire identically under both engines. Loss alone cannot
+  // defer, so force queueing delays with a starved uplink.
+  ExperimentConfig config = small_config(Algorithm::kGlap);
+  config.rounds = 60;
+  config.network.enabled = true;
+  config.network.loss_rate = 0.005;
+  config.glap.quiescence.enabled = true;
+  config.glap.quiescence.idle_rounds = 4;
+  config.glap.quiescence.demand_epsilon = 0.10;
+  const RunResult serial = run_experiment(config);
+
+  config.event_engine = true;
+  const RunResult event = run_experiment(config);
+  expect_identical_net(serial, event, "event+network+quiescence");
+}
+
 }  // namespace
 }  // namespace glap::harness

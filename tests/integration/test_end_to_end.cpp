@@ -128,5 +128,60 @@ TEST(EndToEnd, MessageAccountingIsPopulatedForGossipProtocols) {
   }
 }
 
+// ---- Convergence under network adversity (DESIGN.md §13) ----------------
+
+TEST(EndToEnd, HealthyNetworkModelMatchesIdealRun) {
+  // At defaults (no loss, 1 GbE, gossip-sized payloads) every exchange
+  // completes within its round, so enabling the model must not change a
+  // single consolidation decision — only the net_* accounting appears.
+  // Migration contention is the one modeled side effect that can move a
+  // metric (it stretches τ, and with it SLALM), so pin strict identity
+  // with it off first, then check contention only ever lengthens τ.
+  Cell cell{Algorithm::kGlap, 80, 3};
+  ExperimentConfig ideal = config_for(cell);
+  ExperimentConfig modeled = config_for(cell);
+  modeled.network.enabled = true;
+  modeled.network.migration_contention = false;
+  const RunResult a = run_experiment(ideal);
+  const RunResult b = run_experiment(modeled);
+  EXPECT_EQ(a.total_migrations, b.total_migrations);
+  EXPECT_EQ(a.final_active_pms, b.final_active_pms);
+  EXPECT_EQ(a.slav, b.slav);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(b.net_sends, b.net_delivered);
+  EXPECT_GT(b.net_sends, 0u);
+  EXPECT_EQ(b.net_dropped_loss + b.net_dropped_congestion, 0u);
+
+  ExperimentConfig contended = modeled;
+  contended.network.migration_contention = true;
+  const RunResult c = run_experiment(contended);
+  EXPECT_EQ(a.total_migrations, c.total_migrations);
+  EXPECT_EQ(a.final_active_pms, c.final_active_pms);
+  EXPECT_GE(c.slalm, a.slalm) << "queueing can only lengthen migrations";
+}
+
+TEST(EndToEnd, GlapStillConsolidatesAtOnePercentLoss) {
+  // Loss-tolerance regression: gossip is redundant by construction, so
+  // GLAP must keep consolidating (and keep overloads bounded) when every
+  // exchange leg independently drops at 1%.
+  Cell cell{Algorithm::kGlap, 80, 3};
+  ExperimentConfig ideal = config_for(cell);
+  ideal.rounds = 120;
+  ExperimentConfig lossy = ideal;
+  lossy.network.enabled = true;
+  lossy.network.loss_rate = 0.01;
+  const RunResult clean = run_experiment(ideal);
+  const RunResult noisy = run_experiment(lossy);
+
+  EXPECT_GT(noisy.net_dropped_loss, 0u) << "loss never fired";
+  // Still consolidates: the fleet shrinks from the initial 80 PMs...
+  EXPECT_LT(noisy.final_active_pms, cell.pm_count);
+  // ...to within 15% of the loss-free active-PM footprint,
+  EXPECT_LE(noisy.mean_active(), clean.mean_active() * 1.15);
+  // and overload suppression does not collapse either.
+  EXPECT_LE(noisy.mean_overloaded(),
+            clean.mean_overloaded() * 1.5 + 1.0);
+}
+
 }  // namespace
 }  // namespace glap::harness

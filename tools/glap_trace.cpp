@@ -10,6 +10,7 @@
 //   glap-trace gen      <out>   [--algorithm GLAP|GRMP|EcoCloud|PABFD]
 //                               [--pms N] [--ratio R] [--warmup N]
 //                               [--rounds N] [--seed S] [--threads T]
+//                               [--net] [--loss PCT]
 //
 // Exit codes (pinned by DESIGN.md §10.5 and tests/integration):
 //   0  success; for `check`, the trace satisfies every invariant
@@ -53,7 +54,7 @@ int usage() {
       "trace_stats.json)\n"
       "  gen      <out> [--algorithm A] [--pms N] [--ratio R] [--warmup N]\n"
       "                 [--rounds N] [--seed S] [--threads T] [--event]\n"
-      "                 [--quiesce]\n"
+      "                 [--quiesce] [--net] [--loss PCT]\n"
       "                                                   run an experiment "
       "and write its trace\n");
   return kExitError;
@@ -394,6 +395,12 @@ int cmd_gen(const Args& args) {
         0.01 * static_cast<double>(flag_int(args, "--epsilon-pct", 15));
     config.glap.quiescence.idle_rounds =
         static_cast<sim::Round>(flag_int(args, "--idle-rounds", 8));
+  }
+  if (has_flag(args, "--net") || has_flag(args, "--loss")) {
+    // Network model (DESIGN.md §13): --loss takes percent (1 = 1% drop).
+    config.network.enabled = true;
+    config.network.loss_rate =
+        0.01 * static_cast<double>(flag_int(args, "--loss", 0));
   }
   config.fit_glap_phases_to_warmup();
   config.observability.trace_path = args.file;

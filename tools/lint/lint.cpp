@@ -504,9 +504,9 @@ void rule_trace_kind(Analysis& a) {
         if (!name.empty() && !known(name))
           a.flag(tok.line, "trace-kind",
                  "\"ev\":\"" + name + "\" is not a trace::EventKind (known: "
-                 "migration, power, shuffle, overload, fault, round, qsim, "
-                 "relearn, shard_bytes) — traces written here would not "
-                 "parse");
+                 "migration, power, shuffle, overload, fault, activity, net, "
+                 "round, qsim, relearn, shard_bytes) — traces written here "
+                 "would not parse");
       }
     }
   }
@@ -755,8 +755,8 @@ bool is_known_rule(std::string_view name) {
 
 const std::vector<std::string>& trace_event_kinds() {
   static const std::vector<std::string> kKinds = {
-      "migration", "power", "shuffle", "overload",    "fault",
-      "activity",  "round", "qsim",    "relearn",     "shard_bytes"};
+      "migration", "power", "shuffle",  "overload", "fault",      "activity",
+      "net",       "round", "qsim",     "relearn",  "shard_bytes"};
   return kKinds;
 }
 
