@@ -16,6 +16,12 @@
 //      must stay above --min-metrics-ratio (default 0.9) of metrics OFF —
 //      the registry's per-shard counters are the only instrumentation on
 //      that path, and they must cost no more than a few percent.
+//   4. scale gate (hard): at 10k PMs on the event engine with quiescence
+//      (the CI scale-smoke shape), a sampled GTB trace (5% shuffle keep,
+//      DESIGN.md §10.6) must come out at least --min-size-ratio (default
+//      10) x smaller than the full JSONL trace of the same run, and its
+//      throughput must stay above --min-sampled-ratio (default 0.95) of
+//      tracing-off — compact sampled tracing is near-free at scale.
 //
 // All measured numbers land in results/trace_overhead.json.
 //
@@ -96,6 +102,50 @@ double metrics_rounds_per_sec(bool metrics_on, int reps) {
   return best;
 }
 
+/// One 10k-PM event-engine measurement (the CI scale-smoke shape).
+struct ScaleRun {
+  double rps = 0.0;
+  std::size_t trace_bytes = 0;
+};
+
+enum class ScaleMode { kOff, kFullJsonl, kSampledGtb };
+
+ScaleRun scale_run(ScaleMode mode, int reps) {
+  harness::ExperimentConfig config;
+  config.algorithm = harness::Algorithm::kGlap;
+  config.pm_count = 10000;
+  config.warmup_rounds = 40;
+  config.rounds = 30;
+  config.event_engine = true;
+  config.glap.quiescence.enabled = true;
+  config.glap.quiescence.demand_epsilon = 0.15;
+  config.glap.quiescence.idle_rounds = 8;
+  config.fit_glap_phases_to_warmup();
+  const double total_rounds =
+      static_cast<double>(config.warmup_rounds + config.rounds);
+  std::ostringstream sink;
+  if (mode != ScaleMode::kOff) {
+    config.observability.trace_sink = &sink;
+    if (mode == ScaleMode::kSampledGtb) {
+      config.observability.trace_format = trace::Format::kGtb;
+      config.observability.trace_sample_shuffle = 0.05;
+      config.observability.trace_sample_net = 0.05;
+    }
+  }
+  ScaleRun best;
+  for (int rep = 0; rep < reps; ++rep) {
+    sink.str({});
+    const auto start = Clock::now();
+    const auto result = harness::run_experiment(config);
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (result.rounds.size() != config.rounds) std::abort();
+    best.rps = std::max(best.rps, total_rounds / elapsed);
+    best.trace_bytes = sink.str().size();
+  }
+  return best;
+}
+
 /// Extracts `"key": <number>` from a JSON file by string search — enough
 /// for the flat committed baseline records.
 bool find_number(const std::string& path, const char* key, double* out) {
@@ -161,6 +211,45 @@ int main(int argc, char** argv) {
                  "[trace_overhead] FAIL: metrics alone cost too much at "
                  "1000 PMs (%.2f < %.2f x %.2f)\n",
                  metrics_on, min_metrics_ratio, metrics_off);
+    ok = false;
+  }
+
+  const double min_sampled_ratio =
+      arg_ratio(argc, argv, "--min-sampled-ratio", 0.95);
+  const double min_size_ratio = arg_ratio(argc, argv, "--min-size-ratio", 10.0);
+  std::fprintf(stderr, "[trace_overhead] 10k PMs, tracing off (2 runs)...\n");
+  const ScaleRun scale_off = scale_run(ScaleMode::kOff, 2);
+  std::fprintf(stderr, "[trace_overhead] 10k PMs, full JSONL (1 run)...\n");
+  const ScaleRun scale_full = scale_run(ScaleMode::kFullJsonl, 1);
+  std::fprintf(stderr,
+               "[trace_overhead] 10k PMs, sampled GTB (2 runs)...\n");
+  const ScaleRun scale_sampled = scale_run(ScaleMode::kSampledGtb, 2);
+  std::printf(
+      "[trace_overhead] 10k PMs off: %.2f rounds/sec; full JSONL %zu "
+      "bytes; sampled GTB %.2f rounds/sec, %zu bytes (%.1fx smaller, "
+      "sampled/off %.2f)\n",
+      scale_off.rps, scale_full.trace_bytes, scale_sampled.rps,
+      scale_sampled.trace_bytes,
+      scale_sampled.trace_bytes > 0
+          ? static_cast<double>(scale_full.trace_bytes) /
+                static_cast<double>(scale_sampled.trace_bytes)
+          : 0.0,
+      scale_off.rps > 0 ? scale_sampled.rps / scale_off.rps : 0.0);
+  if (static_cast<double>(scale_sampled.trace_bytes) * min_size_ratio >
+      static_cast<double>(scale_full.trace_bytes)) {
+    std::fprintf(stderr,
+                 "[trace_overhead] FAIL: sampled GTB trace is not %.0fx "
+                 "smaller than full JSONL (%zu x %.0f > %zu)\n",
+                 min_size_ratio, scale_sampled.trace_bytes, min_size_ratio,
+                 scale_full.trace_bytes);
+    ok = false;
+  }
+  if (scale_sampled.rps < min_sampled_ratio * scale_off.rps) {
+    std::fprintf(stderr,
+                 "[trace_overhead] FAIL: sampled GTB tracing costs more "
+                 "than %.0f%% at 10k PMs (%.2f < %.2f x %.2f)\n",
+                 100.0 * (1.0 - min_sampled_ratio), scale_sampled.rps,
+                 min_sampled_ratio, scale_off.rps);
     ok = false;
   }
 

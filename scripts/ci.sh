@@ -9,11 +9,12 @@
 # path. Runs bench/perf_baseline and prints its JSON line; compare
 # against the committed BENCH_qtable.json at the repo root.
 #
-# Stage 3 (trace verify): glap-trace check over the committed golden
-# 8-PM trace and a freshly generated canonical 150-PM GLAP trace; a
-# deliberately corrupted copy must fail with exit code 1. Also refreshes
-# results/trace_stats.json via `glap-trace stats --results` so the docs
-# drift stage below covers the trace_stats block.
+# Stage 3 (trace verify): glap-trace check over both committed golden
+# 8-PM traces (JSONL and GTB) and a freshly generated canonical 150-PM
+# GLAP trace; `glap-trace convert` must round-trip the two goldens into
+# each other byte-for-byte; a deliberately corrupted copy must fail with
+# exit code 1. Also refreshes results/trace_stats.json via `glap-trace
+# stats --results` so the docs drift stage covers the trace_stats block.
 #
 # Stage 4 (docs drift): reruns every bench that feeds a GENERATED block
 # in EXPERIMENTS.md at the default 150-PM scale and fails with a diff if
@@ -48,9 +49,12 @@
 # wall-clock budget (SCALE_SMOKE_BUDGET_S, default 150 s — ~10x the
 # reference container's time, so it only trips on real regressions),
 # and its trace — including the activity park/wake events — must pass
-# `glap-trace check`. This is the cheap stand-in for the committed
-# 1k/10k/100k sweep in BENCH_scale.json, which is multi-minute and
-# ~10.9 GiB at the top cell and therefore not rerun by CI.
+# `glap-trace check`. A second, shorter run with --binary and
+# --flight-dump verifies the always-on flight recorder leaves a
+# parseable GTB post-mortem at the same scale. This is the cheap
+# stand-in for the committed 1k/10k/100k sweep in BENCH_scale.json,
+# which is multi-minute and ~10.9 GiB at the top cell and therefore not
+# rerun by CI.
 #
 # Stage 10 (network smoke, RUN_NET_SMOKE=1 default): a 1k-PM GLAP run
 # with the network model enabled at 1% loss (DESIGN.md §13) must emit
@@ -97,6 +101,18 @@ if [[ "${RUN_TRACE_VERIFY:-1}" == "1" ]]; then
   echo "== trace verify: glap-trace check over golden + fresh traces =="
   GLAP_TRACE=./build-release/tools/glap-trace
   "$GLAP_TRACE" check tests/integration/golden/trace_8pm.jsonl
+  "$GLAP_TRACE" check tests/integration/golden/trace_8pm.gtb
+
+  # The two golden encodings pin the SAME run: converting the GTB golden
+  # to JSONL must reproduce the JSONL golden byte for byte (and back).
+  GOLDEN_RT=build-release/trace_golden_rt
+  "$GLAP_TRACE" convert tests/integration/golden/trace_8pm.gtb \
+    "$GOLDEN_RT.jsonl"
+  cmp tests/integration/golden/trace_8pm.jsonl "$GOLDEN_RT.jsonl"
+  "$GLAP_TRACE" convert tests/integration/golden/trace_8pm.jsonl \
+    "$GOLDEN_RT.gtb" --to gtb
+  cmp tests/integration/golden/trace_8pm.gtb "$GOLDEN_RT.gtb"
+  rm -f "$GOLDEN_RT.jsonl" "$GOLDEN_RT.gtb"
 
   # Canonical 150-PM GLAP run (gen defaults): check it and refresh the
   # stats mirror that feeds the trace_stats block in EXPERIMENTS.md —
@@ -140,7 +156,17 @@ if [[ "${RUN_SCALE_SMOKE:-1}" == "1" ]]; then
   # verifies the park/wake invariants (activity-reason, alternation,
   # park-off-pm) at a scale the unit fixtures don't reach.
   "$GLAP_TRACE" check "$SMOKE_TRACE"
-  rm -f "$SMOKE_TRACE"
+
+  # The always-on flight recorder rides along on the same scale: force an
+  # end-of-run dump and require that the ring parses as a GTB trace
+  # (`stats`, not `check` — a dump starts mid-run, so the whole-trace
+  # invariants don't apply). The dump is what a crashed run would leave.
+  FLIGHT_DUMP=build-release/flight_scale_smoke.gtb
+  "$GLAP_TRACE" gen "$SMOKE_TRACE" --pms 10000 --warmup 40 --rounds 8 \
+    --event --quiesce --binary --flight-dump "$FLIGHT_DUMP"
+  "$GLAP_TRACE" stats "$FLIGHT_DUMP" >/dev/null
+  echo "flight dump parsed cleanly ($(stat -c %s "$FLIGHT_DUMP") bytes)"
+  rm -f "$SMOKE_TRACE" "$FLIGHT_DUMP"
 fi
 
 if [[ "${RUN_NET_SMOKE:-1}" == "1" ]]; then

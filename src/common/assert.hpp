@@ -26,11 +26,22 @@ class invariant_error : public std::logic_error {
 };
 
 namespace detail {
+/// Flight-recorder hook (common/flight_recorder.hpp): while a
+/// CrashDumpScope is active this points at its dump routine, so a failed
+/// contract check leaves a post-mortem trace before the exception
+/// propagates. Null whenever no recorder is armed.
+inline void (*fatal_hook)(const char* what) = nullptr;
+
+inline void notify_fatal(const std::string& what) {
+  if (fatal_hook != nullptr) fatal_hook(what.c_str());
+}
+
 [[noreturn]] inline void throw_precondition(const char* expr, const char* file,
                                             int line, const std::string& msg) {
   std::ostringstream os;
   os << "precondition failed: (" << expr << ") at " << file << ':' << line;
   if (!msg.empty()) os << " — " << msg;
+  notify_fatal(os.str());
   throw precondition_error(os.str());
 }
 
@@ -39,6 +50,7 @@ namespace detail {
   std::ostringstream os;
   os << "invariant failed: (" << expr << ") at " << file << ':' << line;
   if (!msg.empty()) os << " — " << msg;
+  notify_fatal(os.str());
   throw invariant_error(os.str());
 }
 }  // namespace detail

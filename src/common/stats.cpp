@@ -54,6 +54,8 @@ PercentileSummary summarize(std::vector<double> samples) {
   s.p10 = interp(10.0);
   s.median = interp(50.0);
   s.p90 = interp(90.0);
+  s.p95 = interp(95.0);
+  s.p99 = interp(99.0);
   s.min = samples.front();
   s.max = samples.back();
   double sum = 0.0;

@@ -52,6 +52,8 @@ struct PercentileSummary {
   double p10 = 0.0;
   double median = 0.0;
   double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
   double mean = 0.0;
   double min = 0.0;
   double max = 0.0;
@@ -61,7 +63,9 @@ struct PercentileSummary {
 /// Computes an interpolated percentile; q in [0, 100]. Empty input -> 0.
 [[nodiscard]] double percentile(std::vector<double> samples, double q);
 
-/// Computes the p10/median/p90 summary the paper reports in Figs. 7-8.
+/// Computes the p10/median/p90 summary the paper reports in Figs. 7-8,
+/// plus the p95/p99 tail the trace-stats tooling reports for latency-like
+/// fields (network delivery delay, per-round migration counts).
 [[nodiscard]] PercentileSummary summarize(std::vector<double> samples);
 
 /// Cosine similarity of two equal-length vectors; returns 1 for two

@@ -312,6 +312,16 @@ void InvariantChecker::add(const TraceEvent& e, std::size_t line) {
           msg << "net queue line names unknown link kind '" << n.link << "'";
           report(line, e.round, "net-drop-reason", msg.str());
         }
+        if (n.bytes == 0) {
+          // The writer skips idle links entirely (DESIGN.md §13.6), so a
+          // zero-backlog line means the emitter regressed; readers must
+          // instead tolerate per-round gaps in queue coverage.
+          std::ostringstream msg;
+          msg << "net queue line for " << n.link << ' ' << n.link_id
+              << " reports zero backlog (idle links are skipped, not "
+                 "emitted)";
+          report(line, e.round, "net-queue-zero", msg.str());
+        }
       }
       break;
     }

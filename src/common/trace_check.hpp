@@ -153,6 +153,10 @@ struct Violation {
 ///   net-drop-reason          drops carry reason "loss" or "congestion"
 ///                            (a drop requires a lossy or congested link);
 ///                            queue lines name link "access" or "uplink"
+///   net-queue-zero           queue lines report a positive backlog — the
+///                            writer skips idle links (DESIGN.md §13.6),
+///                            so readers tolerate per-round gaps in queue
+///                            coverage rather than expecting zero lines
 class InvariantChecker {
  public:
   struct Options {

@@ -3,7 +3,10 @@
 #include <cerrno>
 #include <charconv>
 #include <cstdlib>
+#include <cstring>
 #include <istream>
+
+#include "common/trace_format.hpp"
 
 namespace glap::trace {
 
@@ -400,7 +403,44 @@ bool parse_trace_line(std::string_view line, TraceEvent* out,
   return true;
 }
 
-TraceReader::Status TraceReader::next(TraceEvent* out, std::string* error) {
+TraceReader::Status TraceReader::detect(std::string* error) {
+  const int first = in_.peek();
+  if (first == std::char_traits<char>::eof()) {
+    // An empty file is a valid (empty) trace of either encoding.
+    source_ = Source::kJsonl;
+    return Status::kEof;
+  }
+  if (static_cast<char>(first) != kGtbMagic[0]) {
+    // JSONL lines always open with '{' — only GTB starts with 'G'.
+    source_ = Source::kJsonl;
+    return Status::kEvent;
+  }
+  char header[kGtbHeaderBytes] = {};
+  in_.read(header, static_cast<std::streamsize>(sizeof header));
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof header)) {
+    if (error != nullptr) *error = "file ends mid GTB header";
+    return Status::kTruncated;
+  }
+  if (std::memcmp(header, kGtbMagic, sizeof kGtbMagic) != 0) {
+    if (error != nullptr) *error = "bad GTB magic";
+    return Status::kError;
+  }
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i)
+    version |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(header[4 + i]))
+               << (8 * i);
+  if (version != kGtbVersion) {
+    if (error != nullptr)
+      *error = "unsupported GTB version " + std::to_string(version);
+    return Status::kError;
+  }
+  source_ = Source::kGtb;
+  return Status::kEvent;
+}
+
+TraceReader::Status TraceReader::next_jsonl(TraceEvent* out,
+                                            std::string* error) {
   while (std::getline(in_, line_)) {
     ++line_no_;
     bool blank = true;
@@ -410,10 +450,62 @@ TraceReader::Status TraceReader::next(TraceEvent* out, std::string* error) {
         break;
       }
     if (blank) continue;
-    return parse_trace_line(line_, out, error) ? Status::kEvent
-                                               : Status::kError;
+    if (parse_trace_line(line_, out, error)) return Status::kEvent;
+    if (in_.eof()) {
+      // The final line has no terminating '\n' and does not parse: the
+      // file was cut mid-line, not malformed.
+      if (error != nullptr)
+        *error = "file ends mid-line (truncated trace)";
+      return Status::kTruncated;
+    }
+    return Status::kError;
   }
   return Status::kEof;
+}
+
+TraceReader::Status TraceReader::next_gtb(TraceEvent* out,
+                                          std::string* error) {
+  char len_bytes[4];
+  in_.read(len_bytes, 4);
+  const std::streamsize got = in_.gcount();
+  if (got == 0) return Status::kEof;
+  ++line_no_;
+  if (got < 4) {
+    if (error != nullptr) *error = "file ends mid length prefix";
+    return Status::kTruncated;
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(len_bytes[i]))
+           << (8 * i);
+  // Every record carries at least a kind byte and the round number; a
+  // smaller or implausibly large length is corruption, not truncation.
+  if (len < 9 || len > kGtbMaxRecordBytes) {
+    if (error != nullptr)
+      *error = "corrupt GTB length prefix (" + std::to_string(len) + ")";
+    return Status::kError;
+  }
+  line_.resize(len);
+  in_.read(line_.data(), static_cast<std::streamsize>(len));
+  if (in_.gcount() != static_cast<std::streamsize>(len)) {
+    if (error != nullptr)
+      *error = "file ends mid-record (" + std::to_string(in_.gcount()) +
+               " of " + std::to_string(len) + " payload bytes)";
+    return Status::kTruncated;
+  }
+  return decode_gtb_payload(line_, out, error) ? Status::kEvent
+                                               : Status::kError;
+}
+
+TraceReader::Status TraceReader::next(TraceEvent* out, std::string* error) {
+  if (error != nullptr) error->clear();
+  if (source_ == Source::kUnknown) {
+    const Status st = detect(error);
+    if (st != Status::kEvent) return st;
+  }
+  return source_ == Source::kGtb ? next_gtb(out, error)
+                                 : next_jsonl(out, error);
 }
 
 }  // namespace glap::trace

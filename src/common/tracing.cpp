@@ -3,9 +3,29 @@
 #include <algorithm>
 #include <ostream>
 
-#include "common/json.hpp"
+#include "common/assert.hpp"
+#include "common/flight_recorder.hpp"
+#include "common/trace_format.hpp"
 
 namespace glap::trace {
+
+// The writer-side Kind values double as the wire codes of the read-side
+// EventKind (GTB stores the latter); keep the prefixes aligned.
+static_assert(static_cast<int>(Kind::kMigration) ==
+                  static_cast<int>(EventKind::kMigration) &&
+              static_cast<int>(Kind::kPower) ==
+                  static_cast<int>(EventKind::kPower) &&
+              static_cast<int>(Kind::kShuffle) ==
+                  static_cast<int>(EventKind::kShuffle) &&
+              static_cast<int>(Kind::kOverload) ==
+                  static_cast<int>(EventKind::kOverload) &&
+              static_cast<int>(Kind::kFault) ==
+                  static_cast<int>(EventKind::kFault) &&
+              static_cast<int>(Kind::kActivity) ==
+                  static_cast<int>(EventKind::kActivity) &&
+              static_cast<int>(Kind::kNet) ==
+                  static_cast<int>(EventKind::kNet),
+              "trace::Kind must mirror the first trace::EventKind values");
 
 const char* kind_name(Kind k) {
   switch (k) {
@@ -34,81 +54,114 @@ const char* activity_reason_name(std::int64_t code) {
   return "?";
 }
 
-namespace {
-/// Channel codes mirror net::Channel in declaration order (the net model
-/// is a downstream library, so the mapping is pinned here and in
-/// tests/common/test_tracing.cpp rather than shared via an include).
-const char* net_channel_name(std::int64_t code) {
-  switch (code) {
-    case 0: return "shuffle";
-    case 1: return "learning";
-    case 2: return "aggregation";
-    case 3: return "consolidation";
-    case 4: return "probe";
-    case 5: return "migration";
+TraceLog::TraceLog(std::ostream& out, Format format,
+                   const SamplingPolicy& sampling)
+    : TraceLog(&out, format, sampling) {}
+
+TraceLog::TraceLog(std::ostream* out, Format format,
+                   const SamplingPolicy& sampling)
+    : out_(out),
+      format_(format),
+      sampling_(sampling),
+      shuffle_keep_all_(sampling.shuffle_keep >= 1.0),
+      net_keep_all_(sampling.net_keep >= 1.0),
+      sample_seed_(hash_combine(sampling.seed, hash_tag("trace-sample"))) {
+  GLAP_REQUIRE(sampling.shuffle_keep >= 0.0 && sampling.shuffle_keep <= 1.0 &&
+                   sampling.net_keep >= 0.0 && sampling.net_keep <= 1.0,
+               "trace sampling keep probabilities must be in [0, 1]");
+  if (out_ != nullptr && format_ == Format::kGtb) {
+    bytes_.clear();
+    append_gtb_header(&bytes_);
+    out_->write(bytes_.data(), static_cast<std::streamsize>(bytes_.size()));
   }
-  return "?";
 }
 
-/// Drop-reason codes mirror net::DropReason (1 loss, 2 congestion).
-const char* net_drop_reason_name(std::int64_t code) {
-  switch (code) {
-    case 1: return "loss";
-    case 2: return "congestion";
-  }
-  return "?";
+void TraceLog::begin_round(std::uint64_t round) {
+  round_ = round;
+  if (recorder_ != nullptr) recorder_->begin_round(round);
 }
-}  // namespace
 
-void TraceLog::render(const Event& e) {
-  out_ << "{\"ev\":\"" << kind_name(e.kind) << "\",\"round\":" << round_;
+void TraceLog::to_trace_event(const Event& e) {
+  ev_.kind = static_cast<EventKind>(e.kind);
+  ev_.round = round_;
   switch (e.kind) {
     case Kind::kMigration:
-      out_ << ",\"vm\":" << e.a << ",\"from\":" << e.b << ",\"to\":" << e.c
-           << ",\"cpu\":" << json_double(e.x)
-           << ",\"energy_j\":" << json_double(e.y);
+      ev_.migration.vm = e.a;
+      ev_.migration.from = e.b;
+      ev_.migration.to = e.c;
+      ev_.migration.cpu = e.x;
+      ev_.migration.energy_j = e.y;
       break;
     case Kind::kPower:
-      out_ << ",\"pm\":" << e.a << ",\"on\":" << (e.b ? "true" : "false");
+      ev_.power.pm = e.a;
+      ev_.power.on = e.b != 0;
       break;
     case Kind::kShuffle:
-      out_ << ",\"initiator\":" << e.a << ",\"peer\":" << e.b
-           << ",\"sent\":" << e.c << ",\"reply\":" << e.d;
+      ev_.shuffle.initiator = e.a;
+      ev_.shuffle.peer = e.b;
+      ev_.shuffle.sent = e.c;
+      ev_.shuffle.reply = e.d;
       break;
     case Kind::kOverload:
-      out_ << ",\"pm\":" << e.a << ",\"cpu\":" << json_double(e.x);
+      ev_.overload.pm = e.a;
+      ev_.overload.cpu = e.x;
       break;
     case Kind::kFault:
-      out_ << ",\"pm\":" << e.a << ",\"kind\":" << e.b
-           << ",\"value\":" << json_double(e.x);
+      ev_.fault.pm = e.a;
+      ev_.fault.code = e.b;
+      ev_.fault.value = e.x;
       break;
     case Kind::kActivity:
-      out_ << ",\"pm\":" << e.a << ",\"awake\":" << (e.b ? "true" : "false")
-           << ",\"reason\":\"" << activity_reason_name(e.c) << '"';
+      ev_.activity.pm = e.a;
+      ev_.activity.awake = e.b != 0;
+      ev_.activity.reason = activity_reason_name(e.c);
       break;
     case Kind::kNet:
+      ev_.net.src = e.b;
+      ev_.net.dst = e.c;
+      ev_.net.msg = e.d;
       switch (e.a) {
         case 0:
-          out_ << ",\"op\":\"send\",\"src\":" << e.b << ",\"dst\":" << e.c
-               << ",\"msg\":" << e.d
-               << ",\"bytes\":" << static_cast<std::int64_t>(e.x)
-               << ",\"channel\":\""
-               << net_channel_name(static_cast<std::int64_t>(e.y)) << '"';
+          ev_.net.op = "send";
+          ev_.net.bytes = static_cast<std::int64_t>(e.x);
+          ev_.net.channel =
+              net_channel_name(static_cast<std::int64_t>(e.y));
           break;
         case 1:
-          out_ << ",\"op\":\"deliver\",\"src\":" << e.b << ",\"dst\":" << e.c
-               << ",\"msg\":" << e.d
-               << ",\"delay\":" << static_cast<std::int64_t>(e.x);
+          ev_.net.op = "deliver";
+          ev_.net.delay = static_cast<std::int64_t>(e.x);
           break;
         default:
-          out_ << ",\"op\":\"drop\",\"src\":" << e.b << ",\"dst\":" << e.c
-               << ",\"msg\":" << e.d << ",\"reason\":\""
-               << net_drop_reason_name(static_cast<std::int64_t>(e.x)) << '"';
+          ev_.net.op = "drop";
+          ev_.net.reason =
+              net_drop_reason_name(static_cast<std::int64_t>(e.x));
           break;
       }
       break;
   }
-  out_ << "}\n";
+}
+
+void TraceLog::write_event() {
+  bytes_.clear();
+  if (format_ == Format::kGtb) {
+    std::string error;
+    const bool ok = append_gtb_record(ev_, &bytes_, &error);
+    GLAP_ASSERT(ok, "GTB encode of writer event failed: " + error);
+    if (out_ != nullptr)
+      out_->write(bytes_.data(), static_cast<std::streamsize>(bytes_.size()));
+    if (recorder_ != nullptr) recorder_->append(bytes_.data(), bytes_.size());
+    return;
+  }
+  render_jsonl(ev_, &bytes_);
+  if (out_ != nullptr)
+    out_->write(bytes_.data(), static_cast<std::streamsize>(bytes_.size()));
+  if (recorder_ != nullptr) {
+    recorder_bytes_.clear();
+    std::string error;
+    const bool ok = append_gtb_record(ev_, &recorder_bytes_, &error);
+    GLAP_ASSERT(ok, "GTB encode of writer event failed: " + error);
+    recorder_->append(recorder_bytes_.data(), recorder_bytes_.size());
+  }
 }
 
 void TraceLog::commit_round() {
@@ -124,49 +177,64 @@ void TraceLog::commit_round() {
                                 ? a.order_key < b.order_key
                                 : a.seq < b.seq;
                    });
-  for (const Event& e : scratch_) render(e);
+  for (const Event& e : scratch_) {
+    to_trace_event(e);
+    write_event();
+  }
 }
 
 void TraceLog::round_summary(std::uint64_t round, std::uint64_t active_pms,
                              std::uint64_t overloaded_pms,
                              std::uint64_t migrations, std::uint64_t messages,
                              std::uint64_t bytes) {
-  out_ << "{\"ev\":\"round\",\"round\":" << round
-       << ",\"active_pms\":" << active_pms
-       << ",\"overloaded_pms\":" << overloaded_pms
-       << ",\"migrations\":" << migrations << ",\"messages\":" << messages
-       << ",\"bytes\":" << bytes << "}\n";
+  ev_.kind = EventKind::kRound;
+  ev_.round = round;
+  ev_.summary.active_pms = active_pms;
+  ev_.summary.overloaded_pms = overloaded_pms;
+  ev_.summary.migrations = migrations;
+  ev_.summary.messages = messages;
+  ev_.summary.bytes = bytes;
+  write_event();
 }
 
 void TraceLog::qsim(std::uint64_t round, double similarity) {
-  out_ << "{\"ev\":\"qsim\",\"round\":" << round
-       << ",\"similarity\":" << json_double(similarity) << "}\n";
+  ev_.kind = EventKind::kQsim;
+  ev_.round = round;
+  ev_.qsim.similarity = similarity;
+  write_event();
 }
 
 void TraceLog::overload(std::uint64_t round, std::int64_t pm, double cpu) {
-  out_ << "{\"ev\":\"overload\",\"round\":" << round << ",\"pm\":" << pm
-       << ",\"cpu\":" << json_double(cpu) << "}\n";
+  ev_.kind = EventKind::kOverload;
+  ev_.round = round;
+  ev_.overload.pm = pm;
+  ev_.overload.cpu = cpu;
+  write_event();
 }
 
 void TraceLog::relearn(std::uint64_t round) {
-  out_ << "{\"ev\":\"relearn\",\"round\":" << round << "}\n";
+  ev_.kind = EventKind::kRelearn;
+  ev_.round = round;
+  write_event();
 }
 
 void TraceLog::net_queue(std::uint64_t round, const char* link,
                          std::int64_t id, std::uint64_t backlog_bytes) {
-  out_ << "{\"ev\":\"net\",\"round\":" << round << ",\"op\":\"queue\",\"link\":\""
-       << link << "\",\"id\":" << id << ",\"bytes\":" << backlog_bytes
-       << "}\n";
+  ev_.kind = EventKind::kNet;
+  ev_.round = round;
+  ev_.net.op = "queue";
+  ev_.net.link = link;
+  ev_.net.link_id = id;
+  ev_.net.bytes = static_cast<std::int64_t>(backlog_bytes);
+  write_event();
 }
 
 void TraceLog::shard_bytes(std::uint64_t round,
                            const std::vector<std::uint64_t>& per_shard) {
-  out_ << "{\"ev\":\"shard_bytes\",\"round\":" << round << ",\"bytes\":[";
-  for (std::size_t i = 0; i < per_shard.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << per_shard[i];
-  }
-  out_ << "]}\n";
+  ev_.kind = EventKind::kShardBytes;
+  ev_.round = round;
+  ev_.shard_bytes = per_shard;
+  write_event();
 }
 
 }  // namespace glap::trace

@@ -1,18 +1,28 @@
-// Round-level JSONL event trace. One JSON object per line; events emitted
-// from inside engine interactions are buffered per exec shard with
-// (order_key, seq) tags and rendered in serial interaction order at
-// commit_round() — so the trace bytes are bit-identical between the serial
-// and wave-parallel engines (DESIGN.md §10 lists the schema).
+// Round-level event trace. One record per event in either of two
+// byte-deterministic encodings — the JSONL text format or GTB, the
+// compact binary format (common/trace_format.hpp) — selected per log.
+// Events emitted from inside engine interactions are buffered per exec
+// shard with (order_key, seq) tags and rendered in serial interaction
+// order at commit_round(), so the trace bytes are bit-identical between
+// the serial and wave-parallel engines in both formats (DESIGN.md §10
+// lists the schema).
 //
-// Cost when disabled: the harness simply does not construct a TraceLog and
-// instrumented code guards each emit with a single `if (trace_)` pointer
-// test — no formatting, no buffering.
+// Deterministic sampling (DESIGN.md §10.6): the high-volume interaction
+// kinds (shuffle, net) can be thinned by a keep-probability decided by a
+// pure hash of (seed, ids) — no RNG stream is consumed and the decision
+// is independent of emit order, so sampled traces keep the engine
+// bit-identity contract and a message's send/deliver/drop always travel
+// together. Driver-only lines are never sampled.
 //
 // Driver-only events (round summaries, Q-similarity probes, re-learning
 // triggers) bypass the ordered buffers and are written directly; they must
 // only be emitted at quiescent points. The per-shard network byte breakdown
 // is execution-dependent (which shard counted a message depends on thread
 // assignment), so it is opt-in and excluded from the determinism contract.
+//
+// Every written record can additionally be teed, GTB-encoded, into a
+// flight recorder ring (common/flight_recorder.hpp) for post-mortem
+// dumps; the harness keeps that ring alive even with no file sink.
 #pragma once
 
 #include <cstdint>
@@ -21,10 +31,17 @@
 #include <vector>
 
 #include "common/exec_context.hpp"
+#include "common/rng.hpp"
+#include "common/trace_reader.hpp"
+
+namespace glap::flight {
+class FlightRecorder;
+}
 
 namespace glap::trace {
 
-/// Event kinds rendered into the JSONL "ev" field.
+/// Event kinds rendered into the JSONL "ev" field. Values mirror the
+/// first entries of trace::EventKind (trace_reader.hpp).
 enum class Kind : std::uint8_t {
   kMigration,    // a=vm, b=from_pm, c=to_pm, x=cpu, y=energy_j
   kPower,        // a=pm, b=on(0/1)
@@ -50,32 +67,79 @@ enum class Kind : std::uint8_t {
 /// declaration order (tests/common/test_tracing.cpp pins the mapping).
 [[nodiscard]] const char* activity_reason_name(std::int64_t code);
 
-/// JSONL trace sink over an externally owned stream.
+/// Trace encodings; readers auto-detect which one a file carries.
+enum class Format : std::uint8_t {
+  kJsonl,  ///< one JSON object per line (DESIGN.md §10.2)
+  kGtb,    ///< length-prefixed binary records (DESIGN.md §10.6)
+};
+
+/// Deterministic per-kind sampling (keep probabilities in [0, 1]).
+/// Decisions are pure hashes: shuffle keeps hash(seed', round, initiator),
+/// net keeps hash(seed', msg id) — one draw per message, so a kept
+/// message keeps its send, deliver/drop, all together, preserving the
+/// net-* invariants on the sampled trace. seed' mixes the experiment seed
+/// with a fixed tag, mirroring the network model's loss draws.
+struct SamplingPolicy {
+  double shuffle_keep = 1.0;
+  double net_keep = 1.0;
+  std::uint64_t seed = 0;
+};
+
+/// Trace sink over an (optional) externally owned stream.
 class TraceLog {
  public:
-  /// Writes to `out`; the stream must outlive the log.
-  explicit TraceLog(std::ostream& out) : out_(out) {}
+  /// Writes to `out` in `format`; the stream must outlive the log. A GTB
+  /// log writes the versioned file header immediately.
+  explicit TraceLog(std::ostream& out, Format format = Format::kJsonl,
+                    const SamplingPolicy& sampling = {});
+
+  /// As above, but `out` may be null: a sink-less log only feeds the
+  /// attached flight recorder (the always-on post-mortem ring).
+  explicit TraceLog(std::ostream* out, Format format,
+                    const SamplingPolicy& sampling = {});
+
+  /// Tees every written record, GTB-encoded, into `recorder` (not owned).
+  void set_flight_recorder(flight::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
+  [[nodiscard]] Format format() const noexcept { return format_; }
 
   /// Records an event from inside an engine interaction; rendered in serial
   /// (order_key, seq) order at commit_round(). seq shares the interaction's
   /// mutation counter so trace events interleave faithfully with deferred
-  /// DataCenter accounting.
+  /// DataCenter accounting. Sampled-out events are dropped here, before
+  /// they consume buffer space or a seq tag — the keep decision is a pure
+  /// hash, identical for every engine and thread count.
   void emit(Kind kind, std::int64_t a = 0, std::int64_t b = 0,
             std::int64_t c = 0, std::int64_t d = 0, double x = 0.0,
             double y = 0.0) {
+    if (kind == Kind::kShuffle) {
+      if (!shuffle_keep_all_ &&
+          !sample_keep(hash_combine(round_, static_cast<std::uint64_t>(a)),
+                       sampling_.shuffle_keep))
+        return;
+    } else if (kind == Kind::kNet) {
+      if (!net_keep_all_ &&
+          !sample_keep(static_cast<std::uint64_t>(d), sampling_.net_keep))
+        return;
+    }
     auto& ctx = exec::context();
     buffers_[ctx.shard_slot].push_back(
         {ctx.order_key, ctx.seq++, kind, a, b, c, d, x, y});
   }
 
-  /// Starts a new round: subsequent events tag this round number.
-  void begin_round(std::uint64_t round) { round_ = round; }
+  /// Starts a new round: subsequent events tag this round number, and the
+  /// flight recorder (if any) seals the previous round's ring bucket.
+  void begin_round(std::uint64_t round);
 
   /// Sorts and renders all events buffered during the current round.
   /// Call only at quiescent points (after the engine's round barrier).
   void commit_round();
 
   // ---- driver-only direct writes (quiescent points only) ----
+  // Never sampled: these are the low-volume per-round summaries analysis
+  // leans on.
 
   /// Per-round aggregate line ("ev":"round"): totals are deterministic.
   void round_summary(std::uint64_t round, std::uint64_t active_pms,
@@ -95,7 +159,10 @@ class TraceLog {
   /// Network queue-depth line ("ev":"net","op":"queue"): the backlog of
   /// one link at the end of a round. `link` is "access" or "uplink", `id`
   /// the PM or rack index. Driver-only; the harness scans links in id
-  /// order at the quiescent point, so the lines are deterministic.
+  /// order at the quiescent point, so the lines are deterministic. The
+  /// network model skips zero-backlog links entirely (§13.6): healthy
+  /// large runs pay no O(links) trace lines, and readers must tolerate
+  /// per-round gaps in queue coverage.
   void net_queue(std::uint64_t round, const char* link, std::int64_t id,
                  std::uint64_t backlog_bytes);
 
@@ -113,10 +180,30 @@ class TraceLog {
     std::int64_t a, b, c, d;
     double x, y;
   };
-  void render(const Event& e);
 
-  std::ostream& out_;
+  [[nodiscard]] bool sample_keep(std::uint64_t key,
+                                 double keep) const noexcept {
+    return static_cast<double>(hash_combine(sample_seed_, key) >> 11) *
+               0x1.0p-53 <
+           keep;
+  }
+
+  /// Converts one buffered tuple into the scratch TraceEvent.
+  void to_trace_event(const Event& e);
+  /// Renders the scratch TraceEvent to the sink and flight recorder.
+  void write_event();
+
+  std::ostream* out_;
+  Format format_;
+  SamplingPolicy sampling_;
+  bool shuffle_keep_all_;
+  bool net_keep_all_;
+  std::uint64_t sample_seed_;
+  flight::FlightRecorder* recorder_ = nullptr;
   std::uint64_t round_ = 0;
+  TraceEvent ev_;        ///< scratch event (string fields stay SSO-short)
+  std::string bytes_;    ///< scratch rendering of one record
+  std::string recorder_bytes_;  ///< scratch GTB tee when the sink is JSONL
   std::vector<Event> buffers_[exec::kShardCount];
   std::vector<Event> scratch_;
 };

@@ -12,6 +12,7 @@
 #include "baselines/grmp.hpp"
 #include "baselines/pabfd.hpp"
 #include "cloud/datacenter.hpp"
+#include "common/tracing.hpp"
 #include "core/config.hpp"
 #include "net/network_model.hpp"
 #include "overlay/cyclon.hpp"
@@ -104,25 +105,50 @@ struct ChurnConfig {
   sim::Round relearn_min_interval = 60;
 };
 
-/// Observability knobs (DESIGN.md §10). Everything defaults to off; a run
-/// with the defaults constructs no registry and no trace log, so the only
-/// cost instrumented code pays is one null-pointer test per site.
+/// Observability knobs (DESIGN.md §10). File sinks default to off; a run
+/// with the defaults constructs no registry and no trace file, so the
+/// only cost instrumented code pays is one null-pointer test per site —
+/// except the flight recorder (§10.7), which stays on with a bounded
+/// in-memory ring so crashes always leave a post-mortem trace.
 struct ObservabilityConfig {
   /// Collect counters/gauges/histograms/per-round series into a
   /// MetricsRegistry, returned via RunResult::metrics. Implied by any of
   /// the sink paths below.
   bool metrics = false;
 
-  /// Non-empty: stream the round-level JSONL event trace to this file.
+  /// Non-empty: stream the round-level event trace to this file.
   std::string trace_path;
   /// Test hook: stream the trace to this stream instead of a file (takes
   /// precedence over trace_path; not owned).
   std::ostream* trace_sink = nullptr;
+  /// Encoding for the trace sink: JSONL text (default) or the compact
+  /// GTB binary format (DESIGN.md §10.6). Both are bit-identical across
+  /// engines and interchangeable via `glap-trace convert`.
+  trace::Format trace_format = trace::Format::kJsonl;
   /// Also emit per-round per-shard network byte breakdowns ("shard_bytes"
   /// events). Execution-dependent — which shard counted a message depends
   /// on thread assignment — so this is excluded from the serial/parallel
   /// bit-identity contract. Default off.
   bool trace_shard_detail = false;
+
+  /// Deterministic trace sampling (DESIGN.md §10.6): keep probability for
+  /// the high-volume shuffle and net event kinds, decided by a pure hash
+  /// of (seed, ids) so sampled traces stay bit-identical across engines
+  /// and a message's send/deliver/drop are kept or dropped together.
+  /// 1.0 = keep everything. Driver-only lines are never sampled.
+  double trace_sample_shuffle = 1.0;
+  double trace_sample_net = 1.0;
+
+  /// Flight recorder (DESIGN.md §10.7): rounds of GTB trace retained in
+  /// memory for post-mortem dumps. Always on (even with no trace sink);
+  /// 0 disables.
+  std::size_t flight_recorder_rounds = 8;
+  /// Where the recorder dumps when an invariant check, GLAP_ENABLE_CHECKS
+  /// assertion, or fatal signal fires mid-run.
+  std::string flight_recorder_path = "glap-flight.gtb";
+  /// Non-empty: also dump the recorder here at normal run end (CI hook —
+  /// lets the pipeline verify the dump parses without crashing a run).
+  std::string flight_dump_path;
 
   /// Collect the per-phase engine profile (select/execute/commit scoped
   /// timers, DESIGN.md §10.4), returned via RunResult::profile. Phase
@@ -142,6 +168,9 @@ struct ObservabilityConfig {
   }
   [[nodiscard]] bool trace_enabled() const noexcept {
     return trace_sink != nullptr || !trace_path.empty();
+  }
+  [[nodiscard]] bool flight_enabled() const noexcept {
+    return flight_recorder_rounds > 0;
   }
 };
 

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "baselines/bfd.hpp"
+#include "common/flight_recorder.hpp"
 #include "common/metrics.hpp"
 #include "common/profiler.hpp"
 #include "common/tracing.hpp"
@@ -191,14 +192,27 @@ RunResult run_experiment(const ExperimentConfig& config) {
     registry->series("net_messages");
     registry->series("net_bytes");
   }
+  const trace::SamplingPolicy sampling{obs.trace_sample_shuffle,
+                                       obs.trace_sample_net, config.seed};
   std::ofstream trace_file;
   std::optional<trace::TraceLog> trace_log;
   if (obs.trace_sink != nullptr) {
-    trace_log.emplace(*obs.trace_sink);
+    trace_log.emplace(obs.trace_sink, obs.trace_format, sampling);
   } else if (!obs.trace_path.empty()) {
-    trace_file.open(obs.trace_path);
+    // Binary mode either way: GTB needs it, and JSONL never emits '\r'.
+    trace_file.open(obs.trace_path, std::ios::binary | std::ios::trunc);
     GLAP_REQUIRE(trace_file.is_open(), "cannot open trace_path for writing");
-    trace_log.emplace(trace_file);
+    trace_log.emplace(&trace_file, obs.trace_format, sampling);
+  } else if (obs.flight_enabled()) {
+    // No file sink, but the always-on flight recorder still needs the
+    // event stream: a sink-less log GTB-encodes straight into the ring.
+    trace_log.emplace(nullptr, trace::Format::kGtb, sampling);
+  }
+  std::optional<flight::FlightRecorder> flight;
+  if (obs.flight_enabled() && trace_log) {
+    flight.emplace(obs.flight_recorder_rounds);
+    flight->set_registry(registry.get());
+    trace_log->set_flight_recorder(&*flight);
   }
   trace::TraceLog* trace = trace_log ? &*trace_log : nullptr;
   engine.set_telemetry(registry.get(), trace);
@@ -361,6 +375,14 @@ RunResult run_experiment(const ExperimentConfig& config) {
       if (!churn_rng.bernoulli(config.churn.initial_placed_fraction))
         dc.depart(v);
   }
+
+  // Crash dumping arms only now — after every config-validation
+  // GLAP_REQUIRE and sink setup above — so an expected precondition
+  // failure leaves no stray dump file. From here to run end, any
+  // invariant failure or fatal signal dumps the flight-recorder ring to
+  // flight_recorder_path (plus `.what.txt` / `.metrics.json` sidecars).
+  const flight::CrashDumpScope crash_scope(
+      flight ? &*flight : nullptr, obs.flight_recorder_path);
 
   // --- Warmup ------------------------------------------------------------
   for (sim::Round r = 0; r < config.warmup_rounds; ++r) {
@@ -526,6 +548,13 @@ RunResult run_experiment(const ExperimentConfig& config) {
     }
     result.metrics = registry;
   }
+
+  // CI hook: persist the flight-recorder ring at normal run end too, so
+  // the pipeline can verify crash dumps parse without crashing a run.
+  if (flight && !obs.flight_dump_path.empty())
+    GLAP_REQUIRE(flight->dump(obs.flight_dump_path),
+                 "cannot write flight_dump_path");
+
   return result;
 }
 

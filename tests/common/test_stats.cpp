@@ -104,6 +104,8 @@ TEST(Summarize, KnownSummary) {
   EXPECT_NEAR(s.median, 50.5, 1e-12);
   EXPECT_NEAR(s.p10, 10.9, 1e-12);
   EXPECT_NEAR(s.p90, 90.1, 1e-12);
+  EXPECT_NEAR(s.p95, 95.05, 1e-12);
+  EXPECT_NEAR(s.p99, 99.01, 1e-12);
 }
 
 TEST(Summarize, Empty) {

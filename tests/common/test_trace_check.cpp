@@ -439,6 +439,21 @@ TEST(Invariants, NetQueueLinkMustBeAccessOrUplink) {
   expect_single(check({q}), "net-drop-reason");
 }
 
+TEST(Invariants, NetQueueMustReportAPositiveBacklog) {
+  // The writer skips idle links (DESIGN.md §13.6): a zero-backlog queue
+  // line can only come from a corrupt or hand-edited trace.
+  TraceEvent q;
+  q.kind = EventKind::kNet;
+  q.round = 0;
+  q.net.op = "queue";
+  q.net.link = "uplink";
+  q.net.link_id = 2;
+  q.net.bytes = 0;
+  expect_single(check({q}), "net-queue-zero");
+  q.net.bytes = 1;
+  EXPECT_TRUE(check({q}).empty());
+}
+
 TEST(Invariants, NetworkWakeReasonIsAccepted) {
   EXPECT_TRUE(check({activity(1, 3, false, "converged"),
                      activity(4, 3, true, "network")})

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/exec_context.hpp"
+#include "common/trace_format.hpp"
 #include "common/tracing.hpp"
 
 namespace glap::trace {
@@ -288,6 +289,128 @@ TEST(TraceReader, SkipsBlankLinesAndReportsLineNumbers) {
   EXPECT_EQ(reader.line_number(), 2u);
   EXPECT_EQ(reader.next(&e, &error), TraceReader::Status::kError);
   EXPECT_EQ(reader.line_number(), 4u);
+}
+
+/// A two-record GTB stream: header + relearn(1) + power(2, pm 9, on).
+std::string small_gtb_stream() {
+  std::string bytes;
+  append_gtb_header(&bytes);
+  TraceEvent e;
+  e.kind = EventKind::kRelearn;
+  e.round = 1;
+  EXPECT_TRUE(append_gtb_record(e, &bytes, nullptr));
+  e.kind = EventKind::kPower;
+  e.round = 2;
+  e.power = {9, true};
+  EXPECT_TRUE(append_gtb_record(e, &bytes, nullptr));
+  return bytes;
+}
+
+TEST(TraceReader, AutoDetectsGtbAndCountsRecords) {
+  std::istringstream in(small_gtb_stream());
+  TraceReader reader(in);
+  TraceEvent e;
+  std::string error;
+  ASSERT_EQ(reader.next(&e, &error), TraceReader::Status::kEvent) << error;
+  EXPECT_TRUE(reader.binary());
+  EXPECT_EQ(e.kind, EventKind::kRelearn);
+  EXPECT_EQ(reader.line_number(), 1u);
+  ASSERT_EQ(reader.next(&e, &error), TraceReader::Status::kEvent) << error;
+  EXPECT_EQ(e.kind, EventKind::kPower);
+  EXPECT_EQ(e.power.pm, 9);
+  EXPECT_EQ(reader.line_number(), 2u);
+  EXPECT_EQ(reader.next(&e, &error), TraceReader::Status::kEof);
+}
+
+TEST(TraceReader, TruncatedGtbYieldsParsedPrefixThenTruncatedOnce) {
+  const std::string full = small_gtb_stream();
+  // Cut anywhere inside the second record (length prefix or payload):
+  // the first record must still parse, then exactly one kTruncated.
+  std::size_t second_record = kGtbHeaderBytes;
+  {
+    std::istringstream probe(full);
+    probe.seekg(static_cast<std::streamoff>(kGtbHeaderBytes));
+    char len_bytes[4] = {};
+    probe.read(len_bytes, 4);
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+      len |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(len_bytes[i]))
+             << (8 * i);
+    second_record += 4 + len;
+  }
+  for (std::size_t cut = second_record + 1; cut < full.size(); ++cut) {
+    std::istringstream in(full.substr(0, cut));
+    TraceReader reader(in);
+    TraceEvent e;
+    std::string error;
+    ASSERT_EQ(reader.next(&e, &error), TraceReader::Status::kEvent)
+        << "cut " << cut << ": " << error;
+    EXPECT_EQ(e.kind, EventKind::kRelearn);
+    EXPECT_EQ(reader.next(&e, &error), TraceReader::Status::kTruncated)
+        << "cut " << cut;
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(reader.next(&e, &error), TraceReader::Status::kEof)
+        << "cut " << cut;
+  }
+}
+
+TEST(TraceReader, TruncatedGtbHeaderIsReportedNotParsed) {
+  std::istringstream in("GTB");
+  TraceReader reader(in);
+  TraceEvent e;
+  std::string error;
+  EXPECT_EQ(reader.next(&e, &error), TraceReader::Status::kTruncated);
+  EXPECT_NE(error.find("header"), std::string::npos) << error;
+}
+
+TEST(TraceReader, BadGtbMagicOrVersionIsAnError) {
+  std::istringstream bad_magic(std::string("GTBX\x01\x00\x00\x00", 8));
+  TraceReader r1(bad_magic);
+  TraceEvent e;
+  std::string error;
+  EXPECT_EQ(r1.next(&e, &error), TraceReader::Status::kError);
+
+  std::istringstream bad_version(std::string("GTB0\x09\x00\x00\x00", 8));
+  TraceReader r2(bad_version);
+  EXPECT_EQ(r2.next(&e, &error), TraceReader::Status::kError);
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(TraceReader, CorruptGtbLengthPrefixIsAnErrorNotTruncation) {
+  std::string bytes;
+  append_gtb_header(&bytes);
+  // A length of 3 can never hold the kind byte plus the round number.
+  bytes += std::string("\x03\x00\x00\x00", 4) + "abc";
+  std::istringstream in(bytes);
+  TraceReader reader(in);
+  TraceEvent e;
+  std::string error;
+  EXPECT_EQ(reader.next(&e, &error), TraceReader::Status::kError);
+  EXPECT_NE(error.find("length prefix"), std::string::npos) << error;
+}
+
+TEST(TraceReader, TruncatedJsonlYieldsParsedPrefixThenTruncatedOnce) {
+  // The final line is cut mid-record and has no trailing newline.
+  std::istringstream in(
+      "{\"ev\":\"relearn\",\"round\":1}\n{\"ev\":\"relearn\",\"rou");
+  TraceReader reader(in);
+  TraceEvent e;
+  std::string error;
+  ASSERT_EQ(reader.next(&e, &error), TraceReader::Status::kEvent) << error;
+  EXPECT_FALSE(reader.binary());
+  EXPECT_EQ(reader.next(&e, &error), TraceReader::Status::kTruncated);
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  EXPECT_EQ(reader.next(&e, &error), TraceReader::Status::kEof);
+}
+
+TEST(TraceReader, MalformedJsonlMidFileIsStillAnError) {
+  // A bad line followed by more data is corruption, not truncation.
+  std::istringstream in("{\"ev\":\"bogus\"}\n{\"ev\":\"relearn\",\"round\":1}\n");
+  TraceReader reader(in);
+  TraceEvent e;
+  std::string error;
+  EXPECT_EQ(reader.next(&e, &error), TraceReader::Status::kError);
 }
 
 TEST(ParseTraceLine, IgnoresUnknownKeys) {

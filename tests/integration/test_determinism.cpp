@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/trace_format.hpp"
 #include "harness/runner.hpp"
 
 namespace glap::harness {
@@ -228,6 +230,57 @@ TEST(Determinism, EventEngineMatchesSerialWithNetworkAndQuiescence) {
   config.event_engine = true;
   const RunResult event = run_experiment(config);
   expect_identical_net(serial, event, "event+network+quiescence");
+}
+
+// ---- trace-byte determinism (DESIGN.md §10.6) ---------------------------
+// The GTB binary trace is written through the same ordered-commit path as
+// JSONL, so its bytes — not just the decoded events — are part of the
+// determinism contract: serial, wave-parallel, and event engines must
+// produce identical files, with or without sampling.
+
+std::string captured_trace(ExperimentConfig config) {
+  std::ostringstream sink;
+  config.observability.trace_sink = &sink;
+  config.observability.trace_format = trace::Format::kGtb;
+  run_experiment(config);
+  return sink.str();
+}
+
+TEST(Determinism, GtbTraceBytesIdenticalAcrossEngines) {
+  const ExperimentConfig config = small_config(Algorithm::kGlap);
+  const std::string serial = captured_trace(config);
+  ASSERT_GT(serial.size(), trace::kGtbHeaderBytes);
+
+  ExperimentConfig wave = config;
+  wave.engine_threads = 2;
+  EXPECT_EQ(serial, captured_trace(wave)) << "threads=2";
+  wave.engine_threads = 4;
+  EXPECT_EQ(serial, captured_trace(wave)) << "threads=4";
+
+  ExperimentConfig event = config;
+  event.event_engine = true;
+  EXPECT_EQ(serial, captured_trace(event)) << "event";
+}
+
+TEST(Determinism, SampledGtbTraceBytesIdenticalAcrossEngines) {
+  // Sampling keeps a pure-hash subset, so the surviving byte stream must
+  // also be engine-independent — and a strict subset of the full trace.
+  ExperimentConfig config = small_config(Algorithm::kGlap);
+  config.observability.trace_sample_shuffle = 0.25;
+  const std::string serial = captured_trace(config);
+
+  ExperimentConfig wave = config;
+  wave.engine_threads = 4;
+  EXPECT_EQ(serial, captured_trace(wave)) << "threads=4+sampling";
+
+  ExperimentConfig event = config;
+  event.event_engine = true;
+  EXPECT_EQ(serial, captured_trace(event)) << "event+sampling";
+
+  ExperimentConfig full = config;
+  full.observability.trace_sample_shuffle = 1.0;
+  EXPECT_LT(serial.size(), captured_trace(full).size())
+      << "0.25 shuffle keep did not shrink the trace";
 }
 
 }  // namespace

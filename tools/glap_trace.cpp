@@ -1,16 +1,23 @@
-// glap-trace: analysis CLI over the round-level JSONL trace (DESIGN.md
-// §10.2). The parsing and analysis logic lives in src/common
-// (trace_reader, trace_check); this binary is argument handling and
-// report formatting.
+// glap-trace: analysis CLI over the round-level trace in either encoding
+// — JSONL (DESIGN.md §10.2) or the GTB binary format (§10.6); the reader
+// auto-detects which one a file carries. The parsing and analysis logic
+// lives in src/common (trace_reader, trace_format, trace_check); this
+// binary is argument handling and report formatting.
 //
 //   glap-trace lineage  <trace> [--vm ID] [--pm ID] [--top N]
 //   glap-trace episodes <trace> [--pm ID] [--min-rounds N]
 //   glap-trace check    <trace> [--churn-tolerant] [--strict] [--max-print N]
 //   glap-trace stats    <trace> [--results]
+//   glap-trace convert  <in> <out> [--to jsonl|gtb]
 //   glap-trace gen      <out>   [--algorithm GLAP|GRMP|EcoCloud|PABFD]
 //                               [--pms N] [--ratio R] [--warmup N]
 //                               [--rounds N] [--seed S] [--threads T]
-//                               [--net] [--loss PCT]
+//                               [--net] [--loss PCT] [--binary]
+//                               [--sample-shuffle PCT] [--sample-net PCT]
+//                               [--flight-dump PATH]
+//
+// A trace cut mid-record (crashed run, signal-context flight dump) is
+// analyzed up to the cut with a warning, not rejected.
 //
 // Exit codes (pinned by DESIGN.md §10.5 and tests/integration):
 //   0  success; for `check`, the trace satisfies every invariant
@@ -26,6 +33,7 @@
 
 #include "common/stats.hpp"
 #include "common/trace_check.hpp"
+#include "common/trace_format.hpp"
 #include "common/trace_reader.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
@@ -52,16 +60,22 @@ int usage() {
       "percentiles (--results mirrors\n"
       "                                                   to results/"
       "trace_stats.json)\n"
+      "  convert  <in> <out> [--to jsonl|gtb]             re-encode a trace "
+      "(default: the other format)\n"
       "  gen      <out> [--algorithm A] [--pms N] [--ratio R] [--warmup N]\n"
       "                 [--rounds N] [--seed S] [--threads T] [--event]\n"
-      "                 [--quiesce] [--net] [--loss PCT]\n"
+      "                 [--quiesce] [--net] [--loss PCT] [--binary]\n"
+      "                 [--sample-shuffle PCT] [--sample-net PCT]\n"
+      "                 [--flight-dump PATH]\n"
       "                                                   run an experiment "
-      "and write its trace\n");
+      "and write its trace\n"
+      "both trace encodings (JSONL text, GTB binary) are auto-detected\n");
   return kExitError;
 }
 
 struct Args {
   std::string file;
+  std::string file2;  ///< second positional; only `convert` takes one
   std::map<std::string, std::string> flags;  ///< "--x v" and bare "--x"
 };
 
@@ -75,6 +89,8 @@ bool parse_args(int argc, char** argv, Args* out) {
         out->flags[arg] = "";
     } else if (out->file.empty()) {
       out->file = arg;
+    } else if (out->file2.empty()) {
+      out->file2 = arg;
     } else {
       std::fprintf(stderr, "glap-trace: unexpected argument '%s'\n",
                    arg.c_str());
@@ -93,12 +109,19 @@ long long flag_int(const Args& args, const char* name, long long fallback) {
   return it == args.flags.end() ? fallback : std::atoll(it->second.c_str());
 }
 
+double flag_double(const Args& args, const char* name, double fallback) {
+  const auto it = args.flags.find(name);
+  return it == args.flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
 bool has_flag(const Args& args, const char* name) {
   return args.flags.count(name) != 0;
 }
 
 /// Streams every event of `path` into the analyzers via `fn`. Returns
-/// false (after printing the offending line) on I/O or parse errors.
+/// false (after printing the offending line) on I/O or parse errors. A
+/// trace cut mid-record — a crash artifact — yields its parsed prefix
+/// with a warning instead of an error, so post-mortem analysis works.
 template <typename Fn>
 bool for_each_event(const std::string& path, Fn&& fn) {
   std::ifstream in(path, std::ios::binary);
@@ -112,6 +135,14 @@ bool for_each_event(const std::string& path, Fn&& fn) {
   while (true) {
     const auto status = reader.next(&event, &error);
     if (status == trace::TraceReader::Status::kEof) return true;
+    if (status == trace::TraceReader::Status::kTruncated) {
+      std::fprintf(stderr,
+                   "glap-trace: warning: %s:%zu: %s — analyzing the %zu "
+                   "record(s) before the cut\n",
+                   path.c_str(), reader.line_number(), error.c_str(),
+                   reader.line_number() - 1);
+      return true;
+    }
     if (status == trace::TraceReader::Status::kError) {
       std::fprintf(stderr, "glap-trace: %s:%zu: %s\n", path.c_str(),
                    reader.line_number(), error.c_str());
@@ -304,6 +335,8 @@ int cmd_stats(const Args& args) {
           {"shuffle.sent", &stats.shuffle_sent},
           {"overload.cpu", &stats.overload_cpu},
           {"qsim.similarity", &stats.qsim_similarity},
+          {"net.send_bytes", &stats.net_send_bytes},
+          {"net.deliver_delay", &stats.net_deliver_delay},
           {"round.active_pms", &stats.round_active_pms},
           {"round.overloaded_pms", &stats.round_overloaded_pms},
           {"round.migrations", &stats.round_migrations},
@@ -314,8 +347,8 @@ int cmd_stats(const Args& args) {
   for (const auto& [name, values] : fields) {
     const PercentileSummary s = summarize(*values);
     field_rows.push_back({name, std::to_string(s.count), fmt(s.min),
-                          fmt(s.p10), fmt(s.median), fmt(s.p90), fmt(s.max),
-                          fmt(s.mean)});
+                          fmt(s.p10), fmt(s.median), fmt(s.p90), fmt(s.p95),
+                          fmt(s.p99), fmt(s.max), fmt(s.mean)});
   }
 
   std::printf("%-14s %s\n", "event", "count");
@@ -325,13 +358,15 @@ int cmd_stats(const Args& args) {
               static_cast<unsigned long long>(stats.first_round),
               static_cast<unsigned long long>(stats.last_round),
               static_cast<unsigned long long>(stats.total_lines));
-  std::printf("\n%-22s %-7s %-9s %-9s %-9s %-9s %-9s %s\n", "field", "n",
-              "min", "p10", "median", "p90", "max", "mean");
+  std::printf("\n%-22s %-7s %-9s %-9s %-9s %-9s %-9s %-9s %-9s %s\n",
+              "field", "n", "min", "p10", "p50", "p90", "p95", "p99", "max",
+              "mean");
   for (const auto& row : field_rows)
-    std::printf("%-22s %-7s %-9s %-9s %-9s %-9s %-9s %s\n", row[0].c_str(),
-                row[1].c_str(), row[2].c_str(), row[3].c_str(),
-                row[4].c_str(), row[5].c_str(), row[6].c_str(),
-                row[7].c_str());
+    std::printf("%-22s %-7s %-9s %-9s %-9s %-9s %-9s %-9s %-9s %s\n",
+                row[0].c_str(), row[1].c_str(), row[2].c_str(),
+                row[3].c_str(), row[4].c_str(), row[5].c_str(),
+                row[6].c_str(), row[7].c_str(), row[8].c_str(),
+                row[9].c_str());
 
   if (has_flag(args, "--results")) {
     harness::BenchReport report(
@@ -339,14 +374,107 @@ int cmd_stats(const Args& args) {
                        "field percentiles (150-PM GLAP reference trace)");
     report.add_table("events", {"event", "count"}, count_rows);
     report.add_table("fields",
-                     {"field", "n", "min", "p10", "median", "p90", "max",
-                      "mean"},
+                     {"field", "n", "min", "p10", "p50", "p90", "p95",
+                      "p99", "max", "mean"},
                      field_rows);
     report.add_headline("total_lines", std::to_string(stats.total_lines));
     report.add_headline("first_round", std::to_string(stats.first_round));
     report.add_headline("last_round", std::to_string(stats.last_round));
     std::printf("wrote %s\n", report.write().c_str());
   }
+  return kExitOk;
+}
+
+// ---- convert ------------------------------------------------------------
+
+int cmd_convert(const Args& args) {
+  if (args.file2.empty()) {
+    std::fprintf(stderr, "glap-trace convert: needs <in> <out>\n");
+    return kExitError;
+  }
+  std::ifstream in(args.file, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "glap-trace: cannot open '%s'\n", args.file.c_str());
+    return kExitError;
+  }
+  trace::TraceReader reader(in);
+
+  bool to_gtb = false;
+  bool truncated = false;
+  std::ofstream out;
+  std::string buf;
+  // Opened lazily, after the reader has sniffed the input encoding, so
+  // the default target can be "the other format".
+  auto open_out = [&]() -> bool {
+    const auto to = args.flags.find("--to");
+    if (to == args.flags.end()) {
+      to_gtb = !reader.binary();
+    } else if (to->second == "jsonl" || to->second == "gtb") {
+      to_gtb = to->second == "gtb";
+    } else {
+      std::fprintf(stderr,
+                   "glap-trace convert: --to wants 'jsonl' or 'gtb', "
+                   "got '%s'\n",
+                   to->second.c_str());
+      return false;
+    }
+    out.open(args.file2, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "glap-trace: cannot open '%s' for writing\n",
+                   args.file2.c_str());
+      return false;
+    }
+    if (to_gtb) {
+      buf.clear();
+      trace::append_gtb_header(&buf);
+      out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    }
+    return true;
+  };
+
+  std::size_t records = 0;
+  trace::TraceEvent event;
+  std::string error;
+  while (true) {
+    const auto status = reader.next(&event, &error);
+    if (status == trace::TraceReader::Status::kEof) break;
+    if (status == trace::TraceReader::Status::kTruncated) {
+      std::fprintf(stderr,
+                   "glap-trace: warning: %s:%zu: %s — converting the "
+                   "records before the cut\n",
+                   args.file.c_str(), reader.line_number(), error.c_str());
+      truncated = true;
+      break;
+    }
+    if (status == trace::TraceReader::Status::kError) {
+      std::fprintf(stderr, "glap-trace: %s:%zu: %s\n", args.file.c_str(),
+                   reader.line_number(), error.c_str());
+      return kExitError;
+    }
+    if (!out.is_open() && !open_out()) return kExitError;
+    buf.clear();
+    if (to_gtb) {
+      if (!trace::append_gtb_record(event, &buf, &error)) {
+        std::fprintf(stderr, "glap-trace: %s:%zu: %s\n", args.file.c_str(),
+                     reader.line_number(), error.c_str());
+        return kExitError;
+      }
+    } else {
+      trace::render_jsonl(event, &buf);
+    }
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    ++records;
+  }
+  if (!out.is_open() && !open_out()) return kExitError;  // empty input
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "glap-trace: write to '%s' failed\n",
+                 args.file2.c_str());
+    return kExitError;
+  }
+  std::fprintf(stderr, "glap-trace convert: %zu record(s) -> %s (%s)%s\n",
+               records, args.file2.c_str(), to_gtb ? "gtb" : "jsonl",
+               truncated ? ", input truncated" : "");
   return kExitOk;
 }
 
@@ -404,6 +532,17 @@ int cmd_gen(const Args& args) {
   }
   config.fit_glap_phases_to_warmup();
   config.observability.trace_path = args.file;
+  if (has_flag(args, "--binary"))
+    config.observability.trace_format = trace::Format::kGtb;
+  // Sampling keeps take percent, like --loss: --sample-net 10 keeps ~10%
+  // of net messages (decided per message by a pure hash, DESIGN.md §10.6).
+  config.observability.trace_sample_shuffle =
+      0.01 * flag_double(args, "--sample-shuffle", 100.0);
+  config.observability.trace_sample_net =
+      0.01 * flag_double(args, "--sample-net", 100.0);
+  const auto flight_dump = args.flags.find("--flight-dump");
+  if (flight_dump != args.flags.end())
+    config.observability.flight_dump_path = flight_dump->second;
 
   std::fprintf(stderr, "glap-trace gen: %s -> %s\n", config.label().c_str(),
                args.file.c_str());
@@ -423,11 +562,17 @@ int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, &args)) return usage();
 
+  if (cmd != "convert" && !args.file2.empty()) {
+    std::fprintf(stderr, "glap-trace: unexpected argument '%s'\n",
+                 args.file2.c_str());
+    return usage();
+  }
   try {
     if (cmd == "lineage") return cmd_lineage(args);
     if (cmd == "episodes") return cmd_episodes(args);
     if (cmd == "check") return cmd_check(args);
     if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "convert") return cmd_convert(args);
     if (cmd == "gen") return cmd_gen(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "glap-trace: %s\n", e.what());
