@@ -32,12 +32,18 @@
 # (bench/parallel_smoke) under TSan to catch data races in the
 # wave-parallel engine.
 #
-# Stage 7 (lint): glap-lint scan over the checked-in tree must be clean;
-# `--results` refreshes results/lint_stats.json, which feeds the
-# lint_stats block in EXPERIMENTS.md, so this runs before the docs-drift
-# stage. If clang-tidy is installed, a bounded tidy pass (.clang-tidy:
-# bugprone-*, performance-*, concurrency-*) runs over src/; absent
-# clang-tidy the pass is skipped — glap-lint is the gating analyzer.
+# Stage 7 (lint): glap-lint scan over the checked-in tree must be clean.
+# The scan runs twice through the incremental cache — a cold pass that
+# populates it and a warm pass that must hit every file — so CI also
+# gates the cache round-trip the dev workflow relies on. `--results`
+# refreshes results/lint_stats.json and `graph --results` refreshes
+# results/lint_graph.json; both feed GENERATED blocks in EXPERIMENTS.md,
+# so this runs before the docs-drift stage. A header self-containment
+# pass compiles every src/**/*.hpp standalone (the include-hygiene rule
+# pins #pragma once; this pins the includes actually sufficing). If
+# clang-tidy is installed, a bounded tidy pass (.clang-tidy: bugprone-*,
+# performance-*, concurrency-*) runs over src/; absent clang-tidy the
+# pass is skipped — glap-lint is the gating analyzer.
 #
 # Stage 8 (memory/UB safety, RUN_ASAN_UBSAN=1 to enable): combined
 # AddressSanitizer + UndefinedBehaviorSanitizer build (UB reports are
@@ -78,8 +84,37 @@ cmake --build build-release -j "$JOBS"
 if [[ "${RUN_LINT:-1}" == "1" ]]; then
   echo "== lint: glap-lint scan over the checked-in tree =="
   # --results refreshes results/lint_stats.json before the docs-drift
-  # stage checks the lint_stats block in EXPERIMENTS.md.
-  ./build-release/tools/glap-lint scan . --results
+  # stage checks the lint_stats block in EXPERIMENTS.md. The cold run
+  # populates the content-hash cache; the warm rerun must hit every
+  # file (the cache degrades to a cold scan on any mismatch, so a
+  # failure here means the cache round-trip itself is broken).
+  LINT_CACHE=build-release/lint.cache
+  rm -f "$LINT_CACHE"
+  ./build-release/tools/glap-lint scan . --results --cache "$LINT_CACHE"
+  warm=$(./build-release/tools/glap-lint scan . --cache "$LINT_CACHE")
+  echo "$warm"
+  if [[ "$warm" != *" 0 miss(es)"* ]]; then
+    echo "warm lint scan re-linted files the cache should have covered" >&2
+    exit 1
+  fi
+  # Mirror the module dependency graph for the docs-drift stage
+  # (EXPERIMENTS.md embeds results/lint_graph.json's tables).
+  ./build-release/tools/glap-lint graph . --results >/dev/null
+
+  echo "== lint: header self-containment over src/**/*.hpp =="
+  # Every project header must compile standalone: #pragma once plus a
+  # complete include set. Catches headers that lean on their includers.
+  while IFS= read -r hdr; do
+    if ! echo "#include \"${hdr#src/}\"" | \
+         g++ -std=c++20 -fsyntax-only -Isrc -x c++ - 2>/tmp/hdr_err.$$; then
+      echo "header is not self-contained: $hdr" >&2
+      cat /tmp/hdr_err.$$ >&2
+      rm -f /tmp/hdr_err.$$
+      exit 1
+    fi
+  done < <(find src -name '*.hpp' | sort)
+  rm -f /tmp/hdr_err.$$
+  echo "all src/ headers compile standalone"
 
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "== lint: bounded clang-tidy pass over src/ =="

@@ -1,0 +1,2 @@
+// Missing #pragma once: double inclusion would redefine mathx_abs.
+inline int mathx_abs(int v) { return v < 0 ? -v : v; }

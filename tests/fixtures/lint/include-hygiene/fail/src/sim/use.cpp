@@ -1,0 +1,3 @@
+// Nothing from the include is referenced, transitively or otherwise.
+#include "common/mathx.hpp"
+int magnitude(int v) { return v < 0 ? -v : v; }

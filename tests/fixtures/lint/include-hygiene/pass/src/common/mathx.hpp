@@ -1,0 +1,3 @@
+// Self-contained header: pragma once plus a name the includer uses.
+#pragma once
+inline int mathx_abs(int v) { return v < 0 ? -v : v; }

@@ -1,0 +1,3 @@
+// The include earns its keep: mathx_abs is referenced right here.
+#include "common/mathx.hpp"
+int magnitude(int v) { return mathx_abs(v); }

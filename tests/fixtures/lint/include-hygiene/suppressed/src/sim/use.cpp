@@ -1,0 +1,4 @@
+// The IWYU-style violation is excused at the include line.
+// glap-lint: allow(include-hygiene): kept for the side-effectful registration macro it expands elsewhere
+#include "common/mathx.hpp"
+int magnitude(int v) { return v < 0 ? -v : v; }

@@ -1,0 +1,4 @@
+// Observed edge overlay -> sim: undeclared, and overlay has no layers.txt
+// entry at all.
+#include "sim/s.hpp"
+int overlay_probe(int v) { return s_step(v); }

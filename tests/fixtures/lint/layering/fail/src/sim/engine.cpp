@@ -1,0 +1,3 @@
+// Observed edge sim -> common (declared, fine on its own).
+#include "common/c.hpp"
+int engine_tick(int v) { return c_base(v); }

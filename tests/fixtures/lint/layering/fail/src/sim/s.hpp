@@ -1,0 +1,2 @@
+#pragma once
+inline int s_step(int v) { return v * 2; }

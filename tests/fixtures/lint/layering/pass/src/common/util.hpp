@@ -1,0 +1,3 @@
+// Leaf helper the sim module is declared to depend on.
+#pragma once
+inline int util_clamp(int v) { return v < 0 ? 0 : v; }

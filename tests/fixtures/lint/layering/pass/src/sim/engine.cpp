@@ -1,0 +1,3 @@
+// Declared edge sim -> common: exactly what layers.txt allows.
+#include "common/util.hpp"
+int engine_step(int v) { return util_clamp(v); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int c_base(int v) { return v + 1; }

@@ -1,0 +1,4 @@
+// The undeclared edge is excused at the include that induces it.
+// glap-lint: allow(layering): migration staging — the edge lands in layers.txt when the split finishes
+#include "common/c.hpp"
+int engine_tick(int v) { return c_base(v); }

@@ -1,0 +1,3 @@
+unsigned char kind_code(EventKind k) {
+  return k == EventKind::kAlpha ? 1 : 0;
+}

@@ -1,0 +1,4 @@
+const char* parse_kind(EventKind k) {
+  if (k == EventKind::kAlpha) return "alpha";
+  return "";
+}

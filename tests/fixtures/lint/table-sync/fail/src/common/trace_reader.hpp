@@ -1,0 +1,7 @@
+// kGamma is declared here but never lands in the parser, code or
+// renderer tables — exactly the drift table-sync exists to catch.
+#pragma once
+enum class EventKind : unsigned char {
+  kAlpha,
+  kGamma,
+};

@@ -1,0 +1,6 @@
+// Binary code table: one byte code per EventKind enumerator.
+unsigned char kind_code(EventKind k) {
+  if (k == EventKind::kAlpha) return 1;
+  if (k == EventKind::kBeta) return 2;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Parser table: every EventKind enumerator appears as a case.
+const char* parse_kind(EventKind k) {
+  switch (k) {
+    case EventKind::kAlpha:
+      return "alpha";
+    case EventKind::kBeta:
+      return "beta";
+  }
+  return "";
+}

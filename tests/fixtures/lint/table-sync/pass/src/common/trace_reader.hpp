@@ -1,0 +1,7 @@
+// Fixture twin of the pinned trace::EventKind enum: two kinds, both
+// present in every table file the registry pins.
+#pragma once
+enum class EventKind : unsigned char {
+  kAlpha,
+  kBeta,
+};

@@ -1,0 +1,6 @@
+// Renderer table: one "ev" spelling per EventKind enumerator.
+const char* render_kind(EventKind k) {
+  if (k == EventKind::kAlpha) return "alpha";
+  if (k == EventKind::kBeta) return "beta";
+  return "";
+}

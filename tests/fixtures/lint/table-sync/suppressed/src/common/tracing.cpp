@@ -1,0 +1,3 @@
+const char* render_kind(EventKind k) {
+  return k == EventKind::kAlpha ? "alpha" : "";
+}

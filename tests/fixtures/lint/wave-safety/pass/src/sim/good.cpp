@@ -1,0 +1,21 @@
+// A pure select_peers: per-call state stays in *scratch*/*select* staging
+// and dry-run draws use a local copy of the RNG, never the member.
+struct Rng {
+  unsigned next() { return 1u; }
+};
+
+class GoodProtocol : public Protocol {
+ public:
+  void select_peers() {
+    scratch_select_ = 0;
+    Rng sim_rng = rng_;
+    scratch_select_ = static_cast<int>(sim_rng.next());
+    (void)snapshot();
+  }
+  bool can_quiesce() { return scratch_select_ == 0; }
+
+ private:
+  int snapshot() const { return scratch_select_; }
+  int scratch_select_ = 0;
+  Rng rng_;
+};

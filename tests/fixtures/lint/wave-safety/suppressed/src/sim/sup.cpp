@@ -1,0 +1,19 @@
+// The same hazards as the fail fixture, each excused with a justified
+// allow — the fixture pins that wave-safety findings honour the normal
+// suppression machinery.
+struct Rng {
+  unsigned next() { return 1u; }
+};
+
+class SupProtocol : public Protocol {
+ public:
+  void select_peers() {
+    // glap-lint: allow(wave-safety): cursor_ is rebuilt from scratch before execute() reads it
+    cursor_ = cursor_ + 1;
+    (void)rng_.next();  // glap-lint: allow(wave-safety): this draw is replayed identically by execute()
+  }
+
+ private:
+  int cursor_ = 0;
+  Rng rng_;
+};

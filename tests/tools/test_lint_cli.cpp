@@ -126,4 +126,98 @@ TEST(LintCli, RulesSubcommandListsTheFullCatalogue) {
     EXPECT_NE(out.find(r.name), std::string::npos) << r.name;
 }
 
+// The layering DAG is a checked-in contract: the file must exist (else
+// the rule silently self-disables) and the real tree's observed module
+// graph must be fully declared.
+TEST(LintCli, LayersFileExistsAndRealGraphIsFullyDeclared) {
+  std::ifstream layers(std::string(GLAP_SOURCE_DIR) +
+                       "/tools/lint/layers.txt");
+  ASSERT_TRUE(layers.is_open())
+      << "tools/lint/layers.txt is gone — the layering rule is a no-op";
+  const std::string out =
+      capture(kBin + " graph " + GLAP_SOURCE_DIR + " 2>/dev/null");
+  EXPECT_NE(out.find("modules ("), std::string::npos);
+  EXPECT_NE(out.find("edges ("), std::string::npos);
+  EXPECT_EQ(out.find("UNDECLARED"), std::string::npos)
+      << "observed module edges missing from layers.txt:\n" << out;
+}
+
+TEST(LintCli, GraphDotModeEmitsGraphviz) {
+  const std::string out =
+      capture(kBin + " graph " + GLAP_SOURCE_DIR + " --dot 2>/dev/null");
+  EXPECT_NE(out.find("digraph glap_modules"), std::string::npos);
+  EXPECT_NE(out.find("\"sim\" -> \"common\""), std::string::npos);
+}
+
+// Incremental cache: cold run misses everything, warm run hits
+// everything with identical results, a content change re-lints exactly
+// the changed file, and a corrupt cache degrades to a cold scan.
+TEST(LintCli, ScanCacheHitsMissesAndDegradesSafely) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(::testing::TempDir()) / "glap_lint_cached";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "sim");
+  const fs::path cache = root / "lint.cache";
+  {
+    std::ofstream a(root / "src" / "sim" / "a.cpp");
+    a << "int a() { return 1; }\n";
+    std::ofstream b(root / "src" / "sim" / "b.cpp");
+    b << "int b() { return 2; }\n";
+  }
+  const std::string scan =
+      kBin + " scan " + root.string() + " --cache " + cache.string();
+  std::string out = capture(scan + " 2>/dev/null");
+  EXPECT_NE(out.find("0 hit(s), 2 miss(es)"), std::string::npos) << out;
+  out = capture(scan + " 2>/dev/null");
+  EXPECT_NE(out.find("2 hit(s), 0 miss(es)"), std::string::npos) << out;
+
+  {
+    std::ofstream a(root / "src" / "sim" / "a.cpp");
+    a << "int a() { return 3; }\n";
+  }
+  out = capture(scan + " 2>/dev/null");
+  EXPECT_NE(out.find("1 hit(s), 1 miss(es)"), std::string::npos) << out;
+
+  {
+    std::ofstream corrupt(cache);
+    corrupt << "not a cache\n";
+  }
+  out = capture(scan + " 2>/dev/null");
+  EXPECT_NE(out.find("0 hit(s), 2 miss(es)"), std::string::npos) << out;
+  fs::remove_all(root);
+}
+
+// A warm cache must replay *findings*, not just cleanliness: the exit
+// code and the per-file diagnostics survive the cache round-trip.
+TEST(LintCli, CachedScanReplaysFindingsIdentically) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "glap_lint_cached_fail";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "sim");
+  const fs::path cache = root / "lint.cache";
+  {
+    std::ofstream bad(root / "src" / "sim" / "bad.cpp");
+    bad << "#include <cstdlib>\n"
+           "int draw() { return std::rand(); }\n";
+  }
+  const std::string scan =
+      kBin + " scan " + root.string() + " --cache " + cache.string();
+  EXPECT_EQ(run(scan), 1);
+  const std::string cold = capture(scan + " 2>&1");
+  const std::string warm = capture(scan + " 2>&1");
+  EXPECT_EQ(run(scan), 1);  // still failing from cache
+  EXPECT_NE(warm.find("banned-random"), std::string::npos) << warm;
+  // Identical modulo the hit/miss accounting line.
+  auto strip_cache_line = [](std::string s) {
+    const auto at = s.find("glap-lint: cache");
+    if (at == std::string::npos) return s;
+    const auto nl = s.find('\n', at);
+    return s.erase(at, nl == std::string::npos ? s.size() - at
+                                               : nl - at + 1);
+  };
+  EXPECT_EQ(strip_cache_line(cold), strip_cache_line(warm));
+  fs::remove_all(root);
+}
+
 }  // namespace

@@ -5,6 +5,7 @@
 // never silently fall behind the rule catalogue.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -95,7 +96,19 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(LintRules, EveryCatalogueRuleHasAllThreeFixtures) {
+  namespace fs = std::filesystem;
   for (const RuleInfo& r : rules()) {
+    if (is_project_rule(r.name)) {
+      // Project rules use fixture *trees* (driven by test_lint_model.cpp):
+      // pass/, fail/ and suppressed/ directories shaped like a mini repo.
+      for (const char* which : {"pass", "fail", "suppressed"}) {
+        const fs::path dir = fs::path(GLAP_TESTS_DIR) / "fixtures" / "lint" /
+                             r.name / which;
+        EXPECT_TRUE(fs::is_directory(dir))
+            << "missing fixture tree: " << dir;
+      }
+      continue;
+    }
     EXPECT_TRUE(as_path_for_rule().count(r.name))
         << "rule " << r.name << " has no fixture mapping — add "
         << "tests/fixtures/lint/" << r.name << "/{pass,fail,suppressed}.cpp";
@@ -182,19 +195,29 @@ TEST(LintRules, StaleAllowIsReportedUnderTheSuppressionRule) {
 TEST(LintRules, RuleCatalogueTiersAreStable) {
   std::map<std::string, std::string> tier;
   for (const RuleInfo& r : rules()) tier[r.name] = r.tier;
-  EXPECT_EQ(tier.size(), 10u);
+  EXPECT_EQ(tier.size(), 14u);
   EXPECT_EQ(tier.at("wall-clock"), "determinism");
   EXPECT_EQ(tier.at("banned-random"), "determinism");
   EXPECT_EQ(tier.at("unordered-iteration"), "determinism");
   EXPECT_EQ(tier.at("pointer-order"), "determinism");
   EXPECT_EQ(tier.at("static-mutable"), "determinism");
+  EXPECT_EQ(tier.at("wave-safety"), "determinism");
   EXPECT_EQ(tier.at("trace-kind"), "safety");
   EXPECT_EQ(tier.at("checks-guard"), "safety");
   EXPECT_EQ(tier.at("float-narrowing"), "safety");
+  EXPECT_EQ(tier.at("table-sync"), "safety");
   EXPECT_EQ(tier.at("hot-alloc"), "perf");
+  EXPECT_EQ(tier.at("layering"), "project");
+  EXPECT_EQ(tier.at("include-hygiene"), "project");
   EXPECT_EQ(tier.at("suppression"), "meta");
   EXPECT_TRUE(is_known_rule("wall-clock"));
   EXPECT_FALSE(is_known_rule("wallclock"));
+  // Project rules resolve suppressions at tree scope; per-file rules don't.
+  EXPECT_TRUE(is_project_rule("layering"));
+  EXPECT_TRUE(is_project_rule("wave-safety"));
+  EXPECT_TRUE(is_project_rule("table-sync"));
+  EXPECT_TRUE(is_project_rule("include-hygiene"));
+  EXPECT_FALSE(is_project_rule("hot-alloc"));
 }
 
 }  // namespace

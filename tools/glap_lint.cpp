@@ -1,9 +1,11 @@
-// glap-lint: determinism/safety static analysis over src/, bench/ and
-// tools/ (DESIGN.md §11 documents the rule catalogue and suppression
-// syntax). The tokenizer and rules live in tools/lint; this binary is
-// argument handling and report formatting, mirroring glap-trace.
+// glap-lint: determinism/safety static analysis over src/, bench/,
+// tools/ and tests/support (DESIGN.md §11 documents the rule catalogue
+// and suppression syntax). The tokenizer, per-file rules and the
+// cross-TU project model live in tools/lint; this binary is argument
+// handling and report formatting, mirroring glap-trace.
 //
-//   glap-lint scan [<root>] [--results] [--max-print N]
+//   glap-lint scan [<root>] [--results] [--cache <file>] [--max-print N]
+//   glap-lint graph [<root>] [--dot] [--results]
 //   glap-lint file <path> [--as <rel-path>]
 //   glap-lint rules
 //   glap-lint trace-kinds
@@ -33,16 +35,21 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: glap-lint <subcommand> [args]\n"
-      "  scan [<root>] [--results] [--max-print N]  lint src/ bench/ tools/\n"
-      "                                             under <root> (default .);\n"
-      "                                             --results mirrors rule-hit\n"
-      "                                             counts to results/\n"
-      "                                             lint_stats.json\n"
-      "  file <path> [--as <rel-path>]              lint one file, scoped as\n"
-      "                                             if at <rel-path>\n"
-      "  rules                                      list every rule\n"
-      "  trace-kinds                                known \"ev\" names for the\n"
-      "                                             trace-kind rule\n");
+      "  scan [<root>] [--results] [--cache <file>] [--max-print N]\n"
+      "        lint src/ bench/ tools/ tests/support under <root>\n"
+      "        (default .); --results mirrors rule-hit counts to\n"
+      "        results/lint_stats.json; --cache skips files whose\n"
+      "        content hash matches the previous scan\n"
+      "  graph [<root>] [--dot] [--results]\n"
+      "        print the src/ module dependency graph against the\n"
+      "        tools/lint/layers.txt DAG; --dot emits Graphviz,\n"
+      "        --results mirrors it to results/lint_graph.json\n"
+      "  file <path> [--as <rel-path>]\n"
+      "        lint one file (per-file rules), scoped as if at <rel-path>\n"
+      "  rules\n"
+      "        list every rule\n"
+      "  trace-kinds\n"
+      "        known \"ev\" names for the trace-kind rule\n");
   return kExitError;
 }
 
@@ -62,11 +69,14 @@ void print_findings(const std::vector<lint::Finding>& findings,
 
 int cmd_scan(int argc, char** argv) {
   std::string root = ".";
+  std::string cache;
   bool results = false;
   long long max_print = 50;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--results") == 0) {
       results = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      cache = argv[++i];
     } else if (std::strcmp(argv[i], "--max-print") == 0 && i + 1 < argc) {
       max_print = std::atoll(argv[++i]);
     } else if (std::strncmp(argv[i], "--", 2) != 0) {
@@ -77,15 +87,15 @@ int cmd_scan(int argc, char** argv) {
     }
   }
 
-  const lint::TreeReport report = lint::lint_tree(root);
+  const lint::TreeReport report = lint::lint_tree(root, cache);
   for (const auto& err : report.io_errors)
     std::fprintf(stderr, "glap-lint: %s\n", err.c_str());
   if (!report.io_errors.empty()) return kExitError;
 
   if (results) {
-    harness::BenchReport out(
-        "lint_stats",
-        "glap-lint rule hits and suppressions over src/, bench/ and tools/");
+    harness::BenchReport out("lint_stats",
+                             "glap-lint rule hits and suppressions over "
+                             "src/, bench/, tools/ and tests/support");
     std::vector<std::vector<std::string>> rows;
     for (const auto& rule : lint::rules()) {
       const auto hit = report.rule_hits.find(rule.name);
@@ -107,6 +117,9 @@ int cmd_scan(int argc, char** argv) {
     out.write();
   }
 
+  if (!cache.empty())
+    std::printf("glap-lint: cache — %zu hit(s), %zu miss(es)\n",
+                report.cache_hits, report.cache_misses);
   if (report.findings.empty()) {
     std::printf("glap-lint: OK — %zu files, 0 violations, %zu "
                 "suppression(s) in effect\n",
@@ -120,6 +133,80 @@ int cmd_scan(int argc, char** argv) {
                report.findings.size(), report.files_scanned,
                report.suppressions_used);
   return kExitViolations;
+}
+
+// graph: render the observed src/ module dependency graph. Text mode
+// lists modules with file counts and every observed edge (with the
+// number of inducing #includes and whether layers.txt declares it);
+// --dot emits a Graphviz digraph; --results mirrors the module-level
+// graph to results/lint_graph.json (drift-checked against EXPERIMENTS.md,
+// so only stable fields go in — no cache stats, no per-file data).
+int cmd_graph(int argc, char** argv) {
+  std::string root = ".";
+  bool dot = false;
+  bool results = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dot") == 0) {
+      dot = true;
+    } else if (std::strcmp(argv[i], "--results") == 0) {
+      results = true;
+    } else if (std::strncmp(argv[i], "--", 2) != 0) {
+      root = argv[i];
+    } else {
+      std::fprintf(stderr, "glap-lint: unknown flag '%s'\n", argv[i]);
+      return usage();
+    }
+  }
+
+  const lint::TreeReport report = lint::lint_tree(root);
+  for (const auto& err : report.io_errors)
+    std::fprintf(stderr, "glap-lint: %s\n", err.c_str());
+  if (!report.io_errors.empty()) return kExitError;
+
+  if (dot) {
+    std::printf("digraph glap_modules {\n  rankdir=BT;\n");
+    for (const auto& [mod, files] : report.module_files)
+      std::printf("  \"%s\" [label=\"%s\\n%zu files\"];\n", mod.c_str(),
+                  mod.c_str(), files);
+    for (const auto& e : report.layer_edges)
+      std::printf("  \"%s\" -> \"%s\" [label=\"%zu\"%s];\n", e.from.c_str(),
+                  e.to.c_str(), e.includes,
+                  e.declared ? "" : " color=red style=dashed");
+    std::printf("}\n");
+  } else {
+    std::printf("modules (%zu):\n", report.module_files.size());
+    for (const auto& [mod, files] : report.module_files)
+      std::printf("  %-10s %zu files\n", mod.c_str(), files);
+    std::printf("edges (%zu):\n", report.layer_edges.size());
+    for (const auto& e : report.layer_edges)
+      std::printf("  %-10s -> %-10s %3zu include(s)%s\n", e.from.c_str(),
+                  e.to.c_str(), e.includes,
+                  e.declared ? "" : "  UNDECLARED");
+  }
+
+  if (results) {
+    harness::BenchReport out("lint_graph",
+                             "src/ module dependency graph observed by "
+                             "glap-lint against tools/lint/layers.txt");
+    std::vector<std::vector<std::string>> mod_rows;
+    for (const auto& [mod, files] : report.module_files)
+      mod_rows.push_back({mod, std::to_string(files)});
+    out.add_table("modules", {"module", "files"}, mod_rows);
+    std::vector<std::vector<std::string>> edge_rows;
+    std::size_t undeclared = 0;
+    for (const auto& e : report.layer_edges) {
+      edge_rows.push_back({e.from, e.to, std::to_string(e.includes),
+                           e.declared ? "yes" : "no"});
+      undeclared += e.declared ? 0 : 1;
+    }
+    out.add_table("layer_edges", {"from", "to", "includes", "declared"},
+                  edge_rows);
+    out.add_headline("modules", std::to_string(report.module_files.size()));
+    out.add_headline("edges", std::to_string(report.layer_edges.size()));
+    out.add_headline("undeclared_edges", std::to_string(undeclared));
+    out.write();
+  }
+  return kExitOk;
 }
 
 int cmd_file(int argc, char** argv) {
@@ -186,6 +273,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "scan") return cmd_scan(argc, argv);
+    if (cmd == "graph") return cmd_graph(argc, argv);
     if (cmd == "file") return cmd_file(argc, argv);
     if (cmd == "rules") return cmd_rules();
     if (cmd == "trace-kinds") return cmd_trace_kinds();

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
+
+#include "lint/model.hpp"
+#include "lint/token.hpp"
 
 namespace glap::lint {
 
@@ -28,6 +32,10 @@ constexpr RuleInfo kRules[] = {
      "or pointer-to-integer casts used as keys"},
     {"static-mutable", "determinism",
      "no mutable function-local or class statics in protocol code"},
+    {"wave-safety", "determinism",
+     "select_peers/can_quiesce overrides must be pure: no member writes "
+     "outside *scratch*/*select* staging, no same-class mutating calls, "
+     "no draws from the member RNG (copy it into a local first)"},
     {"trace-kind", "safety",
      "\"ev\" names in trace literals must match the trace::EventKind set"},
     {"checks-guard", "safety",
@@ -36,10 +44,20 @@ constexpr RuleInfo kRules[] = {
     {"float-narrowing", "safety",
      "no float in Q-table kernels (src/qlearn, src/core/qtable_pair) — "
      "the learning state is double end to end"},
+    {"table-sync", "safety",
+     "every enumerator of the pinned enums (trace::EventKind, trace::Kind, "
+     "WakeReason, net::Channel, net::DropReason) must appear in the "
+     "renderer/parser/code tables that serialize it"},
     {"hot-alloc", "perf",
      "no per-round heap allocation in round-loop scopes of src/sim and "
      "src/core: new/make_unique/make_shared, or push_back/emplace_back on "
      "a container never reserve()d in the file"},
+    {"layering", "project",
+     "src/ module include edges must match the tools/lint/layers.txt DAG; "
+     "undeclared edges, stale declared edges and cycles are findings"},
+    {"include-hygiene", "project",
+     "quoted project includes must provide at least one name the includer "
+     "references (transitively), and project headers need #pragma once"},
     {"suppression", "meta",
      "glap-lint allow comments must name a known rule, carry a "
      "justification, and match a real finding"},
@@ -74,133 +92,6 @@ bool wall_clock_whitelisted(std::string_view rel) {
 
 bool random_whitelisted(std::string_view rel) {
   return starts_with(rel, "src/common/rng");
-}
-
-// ---- tokenizer ----------------------------------------------------------
-
-struct Token {
-  enum class Kind { kIdent, kNumber, kString, kPunct };
-  Kind kind;
-  std::string text;  ///< for kString: raw source spelling between quotes
-  std::size_t line;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Lexes C++ source into identifier/number/string/punct tokens. Comments
-/// are skipped; string and char literals become kString tokens carrying
-/// their raw (still-escaped) spelling so literal-content rules can scan
-/// them. Raw strings and line continuations are handled; preprocessor
-/// directives are tokenized like ordinary code (the preprocessor rules
-/// run in a separate line-based pass).
-std::vector<Token> tokenize(std::string_view src) {
-  std::vector<Token> out;
-  std::size_t i = 0, line = 1;
-  const std::size_t n = src.size();
-  auto peek = [&](std::size_t k) -> char {
-    return i + k < n ? src[i + k] : '\0';
-  };
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    if (c == '/' && peek(1) == '/') {
-      while (i < n && src[i] != '\n') ++i;
-      continue;
-    }
-    if (c == '/' && peek(1) == '*') {
-      i += 2;
-      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
-      i = std::min(n, i + 2);
-      continue;
-    }
-    // Raw string literal, with optional encoding prefix: R"delim( ... )delim"
-    if ((c == 'R' && peek(1) == '"') ||
-        ((c == 'u' || c == 'U' || c == 'L') && peek(1) == 'R' &&
-         peek(2) == '"')) {
-      std::size_t j = i + (c == 'R' ? 2 : 3);
-      std::string delim;
-      while (j < n && src[j] != '(') delim += src[j++];
-      ++j;  // past '('
-      const std::string closer = ")" + delim + "\"";
-      const std::size_t start = j;
-      const std::size_t end = src.find(closer, j);
-      const std::size_t stop = end == std::string_view::npos ? n : end;
-      const std::size_t tok_line = line;
-      for (std::size_t k = i; k < stop; ++k)
-        if (src[k] == '\n') ++line;
-      out.push_back({Token::Kind::kString,
-                     std::string(src.substr(start, stop - start)), tok_line});
-      i = end == std::string_view::npos ? n : end + closer.size();
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      std::size_t j = i + 1;
-      std::string raw;
-      while (j < n && src[j] != quote) {
-        if (src[j] == '\\' && j + 1 < n) {
-          raw += src[j];
-          raw += src[j + 1];
-          j += 2;
-          continue;
-        }
-        if (src[j] == '\n') ++line;  // unterminated; be lenient
-        raw += src[j++];
-      }
-      if (quote == '"')
-        out.push_back({Token::Kind::kString, raw, line});
-      i = j + 1;
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t j = i;
-      while (j < n && ident_char(src[j])) ++j;
-      out.push_back({Token::Kind::kIdent,
-                     std::string(src.substr(i, j - i)), line});
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t j = i;
-      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
-                       src[j] == '\''))
-        ++j;
-      out.push_back({Token::Kind::kNumber,
-                     std::string(src.substr(i, j - i)), line});
-      i = j;
-      continue;
-    }
-    // Multi-char puncts the rules care about.
-    if (c == ':' && peek(1) == ':') {
-      out.push_back({Token::Kind::kPunct, "::", line});
-      i += 2;
-      continue;
-    }
-    if (c == '-' && peek(1) == '>') {
-      out.push_back({Token::Kind::kPunct, "->", line});
-      i += 2;
-      continue;
-    }
-    out.push_back({Token::Kind::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return out;
 }
 
 // ---- per-file analysis --------------------------------------------------
@@ -737,6 +628,273 @@ std::vector<Suppression> parse_suppressions(
   return out;
 }
 
+// ---- tree pipeline ------------------------------------------------------
+
+/// One scanned file: per-file report plus the project-pass summary.
+struct FileEntry {
+  std::string path;
+  std::uint64_t hash = 0;
+  FileReport report;
+  FileSummary summary;
+};
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Cache format/semantics version; bump when rules or the summary shape
+/// change so stale caches fall back to a cold scan.
+constexpr int kCacheVersion = 1;
+
+std::uint64_t cache_fingerprint() {
+  std::string all = "glap-lint-cache-v" + std::to_string(kCacheVersion);
+  for (const RuleInfo& r : rules()) {
+    all += '|';
+    all += r.name;
+  }
+  return fnv1a64(all);
+}
+
+void write_names(std::ostream& out, char tag,
+                 const std::vector<std::string>& names) {
+  if (names.empty()) return;
+  out << tag;
+  for (const std::string& n : names) out << ' ' << n;
+  out << '\n';
+}
+
+/// Serializes one entry into the line-based cache format. All fields are
+/// single-token except messages/reasons, which close out their line.
+void write_cache_entry(std::ostream& out, const FileEntry& e) {
+  out << "F " << std::hex << e.hash << std::dec << ' ' << e.path << '\n';
+  for (const Finding& f : e.report.findings)
+    out << "f " << f.line << ' ' << f.rule << ' ' << f.message << '\n';
+  for (const Suppression& s : e.report.suppressions)
+    out << "s " << s.line << ' ' << (s.file_wide ? 1 : 0) << ' '
+        << (s.used ? 1 : 0) << ' ' << s.rule << ' ' << s.reason << '\n';
+  const FileSummary& m = e.summary;
+  out << "y " << (m.is_header ? 1 : 0) << ' ' << (m.has_pragma_once ? 1 : 0)
+      << ' ' << (m.module.empty() ? "-" : m.module) << '\n';
+  for (const IncludeRef& inc : m.includes)
+    out << "i " << inc.line << ' ' << inc.path << '\n';
+  write_names(out, 'P', m.provided);
+  write_names(out, 'R', m.referenced);
+  write_names(out, 'N', m.name_strings);
+  for (const ClassDecl& c : m.classes) {
+    out << "C " << c.line << ' ' << c.name << '\n';
+    write_names(out, 'B', c.bases);
+    write_names(out, 'M', c.members);
+    write_names(out, 'U', c.mutating_methods);
+  }
+  for (const EnumDecl& en : m.enums) {
+    out << "E " << en.line << ' ' << en.name;
+    for (const std::string& v : en.enumerators) out << ' ' << v;
+    out << '\n';
+  }
+  for (const WaveEvent& w : m.wave_events)
+    out << "W " << static_cast<int>(w.kind) << ' ' << w.line << ' '
+        << w.class_name << ' ' << w.method << ' ' << w.name << '\n';
+  out << ".\n";
+}
+
+/// Parses the cache produced by write_cache_entry. Any structural
+/// surprise invalidates the whole cache (returns empty) — the scan then
+/// runs cold, which is always correct.
+std::map<std::string, FileEntry> load_cache(const std::string& path) {
+  std::map<std::string, FileEntry> cache;
+  std::ifstream in(path);
+  if (!in.is_open()) return cache;
+  std::string line;
+  if (!std::getline(in, line)) return cache;
+  {
+    std::istringstream head(line);
+    std::string magic;
+    std::uint64_t fp = 0;
+    if (!(head >> magic >> std::hex >> fp) || magic != "glap-lint-cache" ||
+        fp != cache_fingerprint())
+      return cache;
+  }
+  FileEntry cur;
+  bool open = false;
+  auto rest_of = [](std::istringstream& is) {
+    std::string rest;
+    std::getline(is, rest);
+    const std::size_t p = rest.find_first_not_of(' ');
+    return p == std::string::npos ? std::string() : rest.substr(p);
+  };
+  auto read_names = [](std::istringstream& is, std::vector<std::string>* out) {
+    std::string n;
+    while (is >> n) out->push_back(n);
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    if (tag == "F") {
+      if (open) return {};  // truncated previous record
+      cur = FileEntry{};
+      if (!(is >> std::hex >> cur.hash >> std::dec >> cur.path)) return {};
+      cur.summary.path = cur.path;
+      open = true;
+    } else if (tag == ".") {
+      if (!open) return {};
+      cache[cur.path] = std::move(cur);
+      cur = FileEntry{};
+      open = false;
+    } else if (!open) {
+      return {};
+    } else if (tag == "f") {
+      Finding f;
+      f.file = cur.path;
+      if (!(is >> f.line >> f.rule)) return {};
+      f.message = rest_of(is);
+      cur.report.findings.push_back(std::move(f));
+    } else if (tag == "s") {
+      Suppression s;
+      int fw = 0, used = 0;
+      if (!(is >> s.line >> fw >> used >> s.rule)) return {};
+      s.file_wide = fw != 0;
+      s.used = used != 0;
+      s.reason = rest_of(is);
+      cur.report.suppressions.push_back(std::move(s));
+    } else if (tag == "y") {
+      int header = 0, pragma = 0;
+      std::string module;
+      if (!(is >> header >> pragma >> module)) return {};
+      cur.summary.is_header = header != 0;
+      cur.summary.has_pragma_once = pragma != 0;
+      cur.summary.module = module == "-" ? "" : module;
+    } else if (tag == "i") {
+      IncludeRef inc;
+      if (!(is >> inc.line >> inc.path)) return {};
+      cur.summary.includes.push_back(std::move(inc));
+    } else if (tag == "P") {
+      read_names(is, &cur.summary.provided);
+    } else if (tag == "R") {
+      read_names(is, &cur.summary.referenced);
+    } else if (tag == "N") {
+      read_names(is, &cur.summary.name_strings);
+    } else if (tag == "C") {
+      ClassDecl c;
+      if (!(is >> c.line >> c.name)) return {};
+      cur.summary.classes.push_back(std::move(c));
+    } else if (tag == "B" || tag == "M" || tag == "U") {
+      if (cur.summary.classes.empty()) return {};
+      ClassDecl& c = cur.summary.classes.back();
+      read_names(is, tag == "B" ? &c.bases
+                                : tag == "M" ? &c.members
+                                             : &c.mutating_methods);
+    } else if (tag == "E") {
+      EnumDecl e;
+      if (!(is >> e.line >> e.name)) return {};
+      read_names(is, &e.enumerators);
+      cur.summary.enums.push_back(std::move(e));
+    } else if (tag == "W") {
+      WaveEvent w;
+      int kind = 0;
+      if (!(is >> kind >> w.line >> w.class_name >> w.method >> w.name))
+        return {};
+      w.kind = static_cast<WaveEvent::Kind>(kind);
+      cur.summary.wave_events.push_back(std::move(w));
+    } else {
+      return {};
+    }
+  }
+  if (open) return {};  // truncated final record
+  return cache;
+}
+
+/// Project pass + suppression resolution + aggregation over per-file
+/// entries. Consumes the entries (moves findings out).
+TreeReport finalize_tree(std::vector<FileEntry>& entries,
+                         std::string_view layers_text) {
+  std::sort(entries.begin(), entries.end(),
+            [](const FileEntry& a, const FileEntry& b) {
+              return a.path < b.path;
+            });
+  TreeReport report;
+  report.files_scanned = entries.size();
+
+  std::vector<FileSummary> summaries;
+  summaries.reserve(entries.size());
+  for (const FileEntry& e : entries) summaries.push_back(e.summary);
+  ProjectModel pm = analyze_project(summaries, layers_text);
+  report.layer_edges = std::move(pm.edges);
+  report.module_files = std::move(pm.module_files);
+
+  std::map<std::string, FileEntry*> by_path;
+  for (FileEntry& e : entries) by_path[e.path] = &e;
+
+  // Project findings run through the same allow machinery as per-file
+  // ones: an allow on the finding's line or the line above, or an
+  // allow-file, silences it and is marked used.
+  auto try_suppress = [](FileEntry* e, const Finding& f) {
+    if (!e) return false;
+    for (Suppression& s : e->report.suppressions) {
+      if (s.rule != f.rule) continue;
+      if (s.file_wide || s.line == f.line || s.line + 1 == f.line) {
+        s.used = true;
+        return true;
+      }
+    }
+    return false;
+  };
+  std::map<std::string, std::vector<Finding>> extra;
+  std::vector<Finding> orphans;  // e.g. anchored at tools/lint/layers.txt
+  for (Finding& f : pm.findings) {
+    const auto it = by_path.find(f.file);
+    FileEntry* e = it == by_path.end() ? nullptr : it->second;
+    if (try_suppress(e, f)) continue;
+    if (e)
+      extra[f.file].push_back(std::move(f));
+    else
+      orphans.push_back(std::move(f));
+  }
+  // Allows naming a project rule were deferred by lint_source; any still
+  // unused after the project pass is stale, same as a per-file allow.
+  for (FileEntry& e : entries) {
+    for (const Suppression& s : e.report.suppressions) {
+      if (!is_project_rule(s.rule) || s.used) continue;
+      Finding stale{e.path, s.line, "suppression",
+                    "allow(" + s.rule + ") matched no finding — remove the "
+                    "stale suppression"};
+      if (!try_suppress(&e, stale))
+        extra[e.path].push_back(std::move(stale));
+    }
+  }
+
+  for (FileEntry& e : entries) {
+    for (const Suppression& s : e.report.suppressions)
+      if (s.used) {
+        ++report.suppressions_used;
+        ++report.rule_suppressions[s.rule];
+      }
+    std::vector<Finding> merged = std::move(e.report.findings);
+    const auto it = extra.find(e.path);
+    if (it != extra.end())
+      for (Finding& f : it->second) merged.push_back(std::move(f));
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Finding& x, const Finding& y) {
+                       return x.line < y.line;
+                     });
+    for (Finding& f : merged) {
+      ++report.rule_hits[f.rule];
+      report.findings.push_back(std::move(f));
+    }
+  }
+  for (Finding& f : orphans) {
+    ++report.rule_hits[f.rule];
+    report.findings.push_back(std::move(f));
+  }
+  return report;
+}
+
 }  // namespace
 
 // ---- public API ---------------------------------------------------------
@@ -751,6 +909,11 @@ bool is_known_rule(std::string_view name) {
   for (const RuleInfo& r : rules())
     if (name == r.name) return true;
   return false;
+}
+
+bool is_project_rule(std::string_view name) {
+  return name == "layering" || name == "wave-safety" ||
+         name == "table-sync" || name == "include-hygiene";
 }
 
 const std::vector<std::string>& trace_event_kinds() {
@@ -811,9 +974,11 @@ FileReport lint_source(std::string_view rel_path, std::string_view content) {
   for (Finding& f : malformed)
     if (!suppressed(f)) report.findings.push_back(std::move(f));
   // A suppression that silences nothing is stale: report it so the allow
-  // inventory shrinks when the code it excused goes away.
+  // inventory shrinks when the code it excused goes away. Allows naming
+  // a project rule are exempt here — their findings only exist at tree
+  // scope, so lint_tree/lint_project do their staleness check instead.
   for (const Suppression& s : report.suppressions) {
-    if (s.used) continue;
+    if (s.used || is_project_rule(s.rule)) continue;
     Finding stale{std::string(rel_path), s.line, "suppression",
                   "allow(" + s.rule + ") matched no finding — remove the "
                   "stale suppression"};
@@ -826,12 +991,26 @@ FileReport lint_source(std::string_view rel_path, std::string_view content) {
   return report;
 }
 
-TreeReport lint_tree(const std::string& root) {
+TreeReport lint_project(const std::vector<ProjectFile>& files,
+                        std::string_view layers_text) {
+  std::vector<FileEntry> entries;
+  entries.reserve(files.size());
+  for (const ProjectFile& f : files) {
+    FileEntry e;
+    e.path = f.path;
+    e.report = lint_source(f.path, f.content);
+    e.summary = summarize_source(f.path, f.content);
+    entries.push_back(std::move(e));
+  }
+  return finalize_tree(entries, layers_text);
+}
+
+TreeReport lint_tree(const std::string& root, const std::string& cache_path) {
   namespace fs = std::filesystem;
   TreeReport report;
   std::vector<fs::path> files;
   bool any_root = false;
-  for (const char* sub : {"src", "bench", "tools"}) {
+  for (const char* sub : {"src", "bench", "tools", "tests/support"}) {
     const fs::path dir = fs::path(root) / sub;
     std::error_code ec;
     if (!fs::is_directory(dir, ec)) continue;
@@ -852,6 +1031,22 @@ TreeReport lint_tree(const std::string& root) {
   }
   std::sort(files.begin(), files.end());
 
+  std::string layers_text;
+  {
+    std::ifstream in(fs::path(root) / "tools" / "lint" / "layers.txt");
+    if (in.is_open()) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      layers_text = buf.str();
+    }
+  }
+
+  std::map<std::string, FileEntry> cache;
+  if (!cache_path.empty()) cache = load_cache(cache_path);
+
+  std::vector<FileEntry> entries;
+  entries.reserve(files.size());
+  std::ostringstream cache_out;  // per-file state, before the project pass
   for (const fs::path& path : files) {
     std::ifstream in(path, std::ios::binary);
     if (!in.is_open()) {
@@ -860,21 +1055,43 @@ TreeReport lint_tree(const std::string& root) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
+    const std::string content = buf.str();
     const std::string rel =
         fs::path(fs::relative(path, root)).generic_string();
-    FileReport file = lint_source(rel, buf.str());
-    ++report.files_scanned;
-    for (const Suppression& s : file.suppressions)
-      if (s.used) {
-        ++report.suppressions_used;
-        ++report.rule_suppressions[s.rule];
-      }
-    for (Finding& f : file.findings) {
-      ++report.rule_hits[f.rule];
-      report.findings.push_back(std::move(f));
+    const std::uint64_t hash = fnv1a64(content);
+
+    FileEntry entry;
+    const auto hit = cache.find(rel);
+    if (hit != cache.end() && hit->second.hash == hash) {
+      entry = hit->second;
+      ++report.cache_hits;
+    } else {
+      entry.path = rel;
+      entry.hash = hash;
+      entry.report = lint_source(rel, content);
+      entry.summary = summarize_source(rel, content);
+      ++report.cache_misses;
+    }
+    if (!cache_path.empty()) write_cache_entry(cache_out, entry);
+    entries.push_back(std::move(entry));
+  }
+
+  if (!cache_path.empty()) {
+    // Best effort: an unwritable cache costs the next run a cold scan,
+    // never correctness, so it is not an io_error.
+    std::ofstream out(cache_path, std::ios::binary | std::ios::trunc);
+    if (out.is_open()) {
+      out << "glap-lint-cache " << std::hex << cache_fingerprint()
+          << std::dec << '\n';
+      out << cache_out.str();
     }
   }
-  return report;
+
+  TreeReport merged = finalize_tree(entries, layers_text);
+  merged.io_errors = std::move(report.io_errors);
+  merged.cache_hits = report.cache_hits;
+  merged.cache_misses = report.cache_misses;
+  return merged;
 }
 
 }  // namespace glap::lint

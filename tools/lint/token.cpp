@@ -1,0 +1,145 @@
+#include "lint/token.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace glap::lint {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0, line = 1;
+  const std::size_t n = src.size();
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      continue;
+    }
+    // Raw string literal, with optional encoding prefix: R"delim( ... )delim"
+    if ((c == 'R' && peek(1) == '"') ||
+        ((c == 'u' || c == 'U' || c == 'L') && peek(1) == 'R' &&
+         peek(2) == '"')) {
+      std::size_t j = i + (c == 'R' ? 2 : 3);
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      ++j;  // past '('
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t start = j;
+      const std::size_t end = src.find(closer, j);
+      const std::size_t stop = end == std::string_view::npos ? n : end;
+      const std::size_t tok_line = line;
+      for (std::size_t k = i; k < stop; ++k)
+        if (src[k] == '\n') ++line;
+      out.push_back({Token::Kind::kString,
+                     std::string(src.substr(start, stop - start)), tok_line});
+      i = end == std::string_view::npos ? n : end + closer.size();
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string raw;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          raw += src[j];
+          raw += src[j + 1];
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // unterminated; be lenient
+        raw += src[j++];
+      }
+      if (quote == '"')
+        out.push_back({Token::Kind::kString, raw, line});
+      i = j + 1;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      out.push_back({Token::Kind::kIdent,
+                     std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       src[j] == '\''))
+        ++j;
+      out.push_back({Token::Kind::kNumber,
+                     std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Multi-char puncts the rules care about.
+    if (c == ':' && peek(1) == ':') {
+      out.push_back({Token::Kind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      out.push_back({Token::Kind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+bool is_cpp_keyword(std::string_view text) {
+  static const std::set<std::string_view> kKeywords = {
+      "alignas", "alignof", "and", "and_eq", "asm", "auto", "bitand",
+      "bitor", "bool", "break", "case", "catch", "char", "char8_t",
+      "char16_t", "char32_t", "class", "compl", "concept", "const",
+      "consteval", "constexpr", "constinit", "const_cast", "continue",
+      "co_await", "co_return", "co_yield", "decltype", "default", "delete",
+      "do", "double", "dynamic_cast", "else", "enum", "explicit", "export",
+      "extern", "false", "final", "float", "for", "friend", "goto", "if",
+      "inline", "int", "long", "mutable", "namespace", "new", "noexcept",
+      "not", "not_eq", "nullptr", "operator", "or", "or_eq", "override",
+      "private", "protected", "public", "register", "reinterpret_cast",
+      "requires", "return", "short", "signed", "sizeof", "static",
+      "static_assert", "static_cast", "struct", "switch", "template",
+      "this", "thread_local", "throw", "true", "try", "typedef", "typeid",
+      "typename", "union", "unsigned", "using", "virtual", "void",
+      "volatile", "wchar_t", "while", "xor", "xor_eq",
+      // preprocessor directive names (preprocessor lines tokenize like code)
+      "include", "define", "undef", "ifdef", "ifndef", "elif", "endif",
+      "pragma", "once", "error", "warning", "defined", "line",
+  };
+  return kKeywords.count(text) > 0;
+}
+
+}  // namespace glap::lint

@@ -1,0 +1,41 @@
+// Shared C++ lexer for glap-lint. Both the per-file rule pass (lint.cpp)
+// and the cross-TU project model (model.cpp) consume the same token
+// stream, so the lexer lives here rather than in either's anonymous
+// namespace. It is deliberately not a real C++ front end: comments are
+// skipped, string/char literals keep their raw spelling, preprocessor
+// lines tokenize like ordinary code, and the only multi-char puncts
+// merged are `::` and `->` (rules that care about `==` vs `=` must look
+// at adjacent single-char tokens).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace glap::lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind;
+  std::string text;  ///< for kString: raw source spelling between quotes
+  std::size_t line;
+};
+
+bool ident_start(char c);
+bool ident_char(char c);
+
+/// Lexes C++ source into identifier/number/string/punct tokens. Comments
+/// are skipped; string and char literals become kString tokens carrying
+/// their raw (still-escaped) spelling so literal-content rules can scan
+/// them. Raw strings and line continuations are handled; preprocessor
+/// directives are tokenized like ordinary code (the preprocessor rules
+/// run in a separate line-based pass).
+std::vector<Token> tokenize(std::string_view src);
+
+/// True iff `text` is a C++ keyword (or contextual keyword / common
+/// preprocessor directive name) — used to filter identifier streams down
+/// to names that could resolve across translation units.
+bool is_cpp_keyword(std::string_view text);
+
+}  // namespace glap::lint
